@@ -1,0 +1,275 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"migratorydata/client"
+	"migratorydata/server"
+)
+
+var addrCounter int
+
+func nextAddr(prefix string) string {
+	addrCounter++
+	return fmt.Sprintf("%s-%d", prefix, addrCounter)
+}
+
+// startSingle starts a single-node server on an inproc listener.
+func startSingle(t *testing.T, mode string) (*server.Server, string) {
+	t.Helper()
+	addr := nextAddr("single")
+	srv := server.New(server.Config{
+		ID:            "s1",
+		ListenNetwork: "inproc",
+		ListenAddr:    addr,
+		Mode:          mode,
+		IoThreads:     2,
+		Workers:       2,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func newClient(t *testing.T, mode string, servers ...string) *client.Client {
+	t.Helper()
+	c, err := client.New(client.Config{
+		Servers:        servers,
+		Network:        "inproc",
+		Mode:           mode,
+		ReconnectBase:  20 * time.Millisecond,
+		ReconnectMax:   200 * time.Millisecond,
+		BlacklistTTL:   500 * time.Millisecond,
+		PublishTimeout: time.Second,
+		DedupWindow:    256,
+		Seed:           int64(addrCounter) + 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPublishSubscribeWebSocket(t *testing.T) {
+	testPublishSubscribe(t, "ws")
+}
+
+func TestPublishSubscribeRaw(t *testing.T) {
+	testPublishSubscribe(t, "raw")
+}
+
+func testPublishSubscribe(t *testing.T, mode string) {
+	_, addr := startSingle(t, mode)
+	sub := newClient(t, mode, addr)
+	if err := sub.Subscribe("scores"); err != nil {
+		t.Fatal(err)
+	}
+	// Give the subscription a moment to land before publishing.
+	time.Sleep(50 * time.Millisecond)
+
+	pub := newClient(t, mode, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := pub.Publish(ctx, "scores", []byte("1-0")); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case n := <-sub.Notifications():
+		if n.Topic != "scores" || string(n.Payload) != "1-0" || n.Seq != 1 {
+			t.Fatalf("notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification")
+	}
+}
+
+func TestPublishAsync(t *testing.T) {
+	_, addr := startSingle(t, "ws")
+	sub := newClient(t, "ws", addr)
+	sub.Subscribe("t")
+	time.Sleep(50 * time.Millisecond)
+
+	pub := newClient(t, "ws", addr)
+	// Wait until connected (PublishAsync does not retry).
+	waitUntil(t, 2*time.Second, func() bool { return pub.ConnectedServer() != "" })
+	if err := pub.PublishAsync("t", []byte("fire-and-forget")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-sub.Notifications():
+		if string(n.Payload) != "fire-and-forget" {
+			t.Fatalf("payload = %q", n.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification")
+	}
+}
+
+func TestOrderedDelivery(t *testing.T) {
+	_, addr := startSingle(t, "ws")
+	sub := newClient(t, "ws", addr)
+	sub.Subscribe("seq")
+	time.Sleep(50 * time.Millisecond)
+
+	pub := newClient(t, "ws", addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := pub.Publish(ctx, "seq", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case got := <-sub.Notifications():
+			if got.Seq != uint64(i+1) {
+				t.Fatalf("notification %d has seq %d", i, got.Seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("missing notification %d", i)
+		}
+	}
+}
+
+func TestWeightedSelection(t *testing.T) {
+	_, addr1 := startSingle(t, "ws")
+	_, addr2 := startSingle(t, "ws")
+	c, err := client.New(client.Config{
+		Servers: []string{addr1, addr2},
+		Weights: []float64{1, 0}, // always the first
+		Network: "inproc",
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitUntil(t, 2*time.Second, func() bool { return c.ConnectedServer() == addr1 })
+}
+
+func TestClientCloseIdempotent(t *testing.T) {
+	_, addr := startSingle(t, "ws")
+	c := newClient(t, "ws", addr)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe("x"); err == nil {
+		t.Fatal("Subscribe after Close should fail")
+	}
+}
+
+func TestClusterFailoverSeamlessRecovery(t *testing.T) {
+	// The paper's §5.2.3 subscriber recovery over the public API: a client
+	// whose server crashes reconnects elsewhere and misses nothing.
+	addrs := []string{nextAddr("fo"), nextAddr("fo"), nextAddr("fo")}
+	clu, err := server.NewCluster(server.ClusterSpec{
+		Members: []server.Config{
+			{ID: "A", ListenNetwork: "inproc", ListenAddr: addrs[0], IoThreads: 2, Workers: 2, TopicGroups: 16},
+			{ID: "B", ListenNetwork: "inproc", ListenAddr: addrs[1], IoThreads: 2, Workers: 2, TopicGroups: 16},
+			{ID: "C", ListenNetwork: "inproc", ListenAddr: addrs[2], IoThreads: 2, Workers: 2, TopicGroups: 16},
+		},
+		SessionTTL: 300 * time.Millisecond,
+		OpTimeout:  2 * time.Second,
+		TickEvery:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	if err := clu.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscriber pinned to server A (single-element list, then expand).
+	sub, err := client.New(client.Config{
+		Servers: addrs, Network: "inproc",
+		ReconnectBase: 10 * time.Millisecond, ReconnectMax: 100 * time.Millisecond,
+		BlacklistTTL: 2 * time.Second, DedupWindow: 256, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.Subscribe("game")
+	time.Sleep(100 * time.Millisecond)
+
+	pub := newClient(t, "ws", addrs...)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := pub.Publish(ctx, "game", []byte("before-crash")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-sub.Notifications():
+		if string(n.Payload) != "before-crash" {
+			t.Fatalf("first notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no first notification")
+	}
+
+	// Crash the subscriber's server.
+	subServer := sub.ConnectedServer()
+	crashIdx := -1
+	for i, a := range addrs {
+		if a == subServer {
+			crashIdx = i
+		}
+	}
+	if crashIdx < 0 {
+		t.Fatalf("cannot locate subscriber's server %q", subServer)
+	}
+	// Make sure the publisher is NOT on the crashing server; its own
+	// failover is exercised too, but the publication must eventually land.
+	clu.Crash(crashIdx)
+
+	// Publish while the subscriber is reconnecting.
+	if err := pub.Publish(ctx, "game", []byte("during-failover")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(ctx, "game", []byte("after-failover")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The subscriber must deliver both, in order, with no gap.
+	want := []string{"during-failover", "after-failover"}
+	for _, w := range want {
+		select {
+		case n := <-sub.Notifications():
+			if string(n.Payload) != w {
+				t.Fatalf("recovered %q, want %q", n.Payload, w)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("notification %q never arrived after failover", w)
+		}
+	}
+	if sub.Reconnects() < 1 {
+		t.Fatal("subscriber did not reconnect")
+	}
+	if sub.ConnectedServer() == subServer {
+		t.Fatal("subscriber reconnected to the crashed server")
+	}
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met within timeout")
+}

@@ -1,0 +1,48 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"migratorydata/client"
+)
+
+func TestKeepAlivePingsFlow(t *testing.T) {
+	srv, addr := startSingle(t, "ws")
+	c, err := client.New(client.Config{
+		Servers:   []string{addr},
+		Network:   "inproc",
+		KeepAlive: 20 * time.Millisecond,
+		Seed:      77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitUntil(t, 2*time.Second, func() bool { return c.ConnectedServer() != "" })
+	// Pings produce pongs, i.e. server-side outbound traffic on an
+	// otherwise idle connection.
+	before := srv.Stats().BytesOut
+	waitUntil(t, 2*time.Second, func() bool { return srv.Stats().BytesOut > before })
+}
+
+func TestKeepAliveSurvivesReconnect(t *testing.T) {
+	srv, addr := startSingle(t, "ws")
+	c, err := client.New(client.Config{
+		Servers:       []string{addr},
+		Network:       "inproc",
+		KeepAlive:     20 * time.Millisecond,
+		ReconnectBase: 10 * time.Millisecond,
+		ReconnectMax:  50 * time.Millisecond,
+		BlacklistTTL:  50 * time.Millisecond,
+		Seed:          78,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitUntil(t, 2*time.Second, func() bool { return c.ConnectedServer() != "" })
+	srv.Engine().CloseAllClients()
+	waitUntil(t, 5*time.Second, func() bool { return c.Reconnects() >= 1 })
+	waitUntil(t, 2*time.Second, func() bool { return c.ConnectedServer() != "" })
+}

@@ -1,0 +1,55 @@
+// Command bench-c10m regenerates the paper's C10M supplementary
+// experiment: 10 million paper-clients (scaled by -scale), each the sole
+// subscriber of its own topic, each receiving one 512-byte message per
+// minute — many more connections than the C1M runs but far less traffic
+// per connection. The engine must sustain the connection count with modest
+// CPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/loadgen"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 1000, "divide the paper's 10M clients by this factor")
+		warmup  = flag.Duration("warmup", 2*time.Second, "warm-up")
+		measure = flag.Duration("measure", 10*time.Second, "measurement window")
+	)
+	flag.Parse()
+
+	clients := 10_000_000 / *scale
+	fmt.Printf("C10M — %d connections (paper: 10,000,000 / %d), 1 msg/min each, 512B payload\n\n", clients, *scale)
+
+	engine := core.New(core.Config{ServerID: "c10m", TopicGroups: 100})
+	defer engine.Close()
+	res, err := loadgen.RunScenario(engine, loadgen.Scenario{
+		Subscribers:     clients,
+		Topics:          clients,
+		PayloadSize:     512,
+		PublishInterval: time.Minute,
+		Warmup:          *warmup,
+		Measure:         *measure,
+		TopicPrefix:     "device",
+		Seed:            42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(loadgen.RowHeader)
+	res.Subscribers = clients
+	fmt.Println(res.Row())
+	fmt.Printf("\nsustained connections: %d; delivered %.0f msgs/s; CPU %.2f%%\n",
+		clients, res.MsgsPerSec, res.CPU*100)
+	if res.Gaps != 0 {
+		fmt.Fprintf(os.Stderr, "ordering gaps: %d\n", res.Gaps)
+		os.Exit(1)
+	}
+}

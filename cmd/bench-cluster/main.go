@@ -1,0 +1,72 @@
+// Command bench-cluster regenerates Table 2 of the paper: horizontal
+// scaling and fault tolerance. It deploys a 3-member cluster, loads it with
+// 300K paper-clients (scaled by -scale) over 30 topics at one message per
+// topic per second, measures latency, fail-stops one member, lets the
+// clients reconnect to the survivors with missed-message recovery, and
+// measures again — printing the Before/After rows of Table 2 plus the
+// integrity report the paper gives in prose (client re-distribution, all
+// messages recovered, no herd effect).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/loadgen"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 100, "divide the paper's client count by this factor")
+		before  = flag.Duration("before", 5*time.Second, "measurement window before the failure (paper: 13 min run)")
+		after   = flag.Duration("after", 5*time.Second, "measurement window after the failure (paper: 10 min)")
+		settle  = flag.Duration("settle", 2*time.Second, "failover settle time between windows")
+		warmup  = flag.Duration("warmup", 2*time.Second, "warm-up")
+		members = flag.Int("members", 3, "cluster size")
+	)
+	flag.Parse()
+
+	clients := 300_000 / *scale
+	fmt.Printf("Table 2 — %d-member cluster, %d clients (paper: 300,000 / %d), fail-stop of one member\n\n",
+		*members, clients, *scale)
+
+	res, err := loadgen.RunFailover(loadgen.FailoverConfig{
+		Members: *members,
+		Scenario: loadgen.Scenario{
+			Subscribers:     clients,
+			Topics:          30,
+			PayloadSize:     140,
+			PublishInterval: time.Second,
+			Warmup:          *warmup,
+			Seed:            7,
+		},
+		BeforeMeasure:    *before,
+		AfterMeasure:     *after,
+		SettleAfterCrash: *settle,
+		Engine:           core.Config{TopicGroups: 100},
+		SessionTTL:       500 * time.Millisecond,
+		OpTimeout:        2 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(loadgen.Row2Header)
+	fmt.Println(loadgen.Row2("Before", res.Before, res.CPUBefore))
+	fmt.Println(loadgen.Row2("After", res.After, res.CPUAfter))
+	fmt.Println()
+	fmt.Printf("clients before: %v\n", res.ClientsBefore)
+	fmt.Printf("clients after : %v (crashed member's clients re-distributed to survivors)\n", res.ClientsAfter)
+	fmt.Printf("reconnections : %d, recovered-from-cache notifications: %d\n", res.Reconnects, res.Recovered)
+	fmt.Printf("duplicates    : %d (re-deliveries dropped; allowed under at-least-once, §3)\n", res.Duplicates)
+	fmt.Printf("ordering gaps : %d (0 = every message delivered, in order)\n", res.Gaps)
+	if res.Gaps != 0 {
+		fmt.Fprintln(os.Stderr, "FAILURE: messages lost or reordered during failover")
+		os.Exit(1)
+	}
+	fmt.Println("\nAll messages published during the failover were recovered from the survivors' caches.")
+}

@@ -1,0 +1,63 @@
+// Command bench-vertical regenerates Table 1 and Figure 3 of the paper:
+// the vertical-scalability sweep. Ten runs step the subscriber count from
+// 100K to 1M (paper scale; divided by -scale here), with one topic per 10K
+// paper-subscribers and one 140-byte message per topic per second, printing
+// the same columns as Table 1: latency median/mean/stddev/P90/P95/P99 (ms),
+// CPU usage, outgoing traffic (Gbps) and topic count.
+//
+// The engine code path is identical to a network deployment; connections
+// are in-process so the sweep is not limited by file descriptors. Absolute
+// values reflect this machine, the shape is the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/loadgen"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 100, "divide the paper's subscriber counts by this factor")
+		steps    = flag.Int("steps", 10, "number of 100K steps to run (10 = full Table 1)")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warm-up per run (paper: 3 min)")
+		measure  = flag.Duration("measure", 5*time.Second, "measurement window per run (paper: 10 min)")
+		interval = flag.Duration("interval", time.Second, "publish interval per topic; lower it to push the scaled engine toward saturation (reproduces the paper's top-end tail inflation)")
+	)
+	flag.Parse()
+
+	fmt.Printf("Table 1 / Figure 3 — vertical scalability (paper counts / %d, %v measure per row)\n\n", *scale, *measure)
+	fmt.Println(loadgen.RowHeader)
+	for step := 1; step <= *steps; step++ {
+		paperSubs := step * 100_000
+		engine := core.New(core.Config{ServerID: "vertical", TopicGroups: 100})
+		res, err := loadgen.RunScenario(engine, loadgen.Scenario{
+			Subscribers:     paperSubs / *scale,
+			Topics:          step * 10,
+			PayloadSize:     140,
+			PublishInterval: *interval,
+			Warmup:          *warmup,
+			Measure:         *measure,
+			TopicPrefix:     "sport",
+			Seed:            int64(step),
+		})
+		engine.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "step %d: %v\n", step, err)
+			os.Exit(1)
+		}
+		// Print the row with the PAPER's subscriber label so rows align
+		// with Table 1 (the actual count is paper/scale).
+		res.Subscribers = paperSubs
+		fmt.Println(res.Row())
+		if res.Gaps != 0 {
+			fmt.Fprintf(os.Stderr, "step %d: %d ordering gaps\n", step, res.Gaps)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nFigure 3 plots the Mean and CPU columns of the table above against the subscriber count.")
+}

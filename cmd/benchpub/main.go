@@ -1,0 +1,70 @@
+// Command benchpub is the paper's Benchpub tool (§6): it "generates
+// messages of a configurable size and sends them to the MigratoryData
+// cluster at a configurable rate" — one message per topic per interval,
+// with the publisher timestamp embedded so Benchsub instances can compute
+// end-to-end latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"migratorydata/internal/loadgen"
+	"migratorydata/internal/transport"
+)
+
+func main() {
+	var (
+		serversFlag = flag.String("servers", "127.0.0.1:8800", "comma-separated server addresses")
+		topics      = flag.Int("topics", 10, "number of topics (topic-0..topic-N-1)")
+		prefix      = flag.String("topic-prefix", "topic", "topic name prefix")
+		interval    = flag.Duration("interval", time.Second, "publication interval per topic")
+		size        = flag.Int("size", 140, "payload size in bytes")
+		duration    = flag.Duration("duration", 0, "how long to publish (0 = forever)")
+		reliable    = flag.Bool("reliable", false, "wait for acks and republish on failure (at-least-once)")
+	)
+	flag.Parse()
+	servers := strings.Split(*serversFlag, ",")
+
+	topicNames := make([]string, *topics)
+	for i := range topicNames {
+		topicNames[i] = fmt.Sprintf("%s-%d", *prefix, i)
+	}
+	attach := func(i int) (net.Conn, error) {
+		return transport.Dial("tcp", strings.TrimSpace(servers[i%len(servers)]))
+	}
+
+	fmt.Printf("benchpub: %d topics, %v interval, %dB payload, reliable=%v\n",
+		*topics, *interval, *size, *reliable)
+	bp, err := loadgen.StartBenchpub(loadgen.PubConfig{
+		Topics:      topicNames,
+		Interval:    *interval,
+		PayloadSize: *size,
+		Attach:      attach,
+		Reliable:    *reliable,
+		Seed:        time.Now().UnixNano(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer bp.Close()
+
+	start := time.Now()
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		<-tick.C
+		elapsed := time.Since(start)
+		fmt.Printf("t=%v sent=%d (%.0f msg/s) errors=%d\n",
+			elapsed.Round(time.Second), bp.Sent(),
+			float64(bp.Sent())/elapsed.Seconds(), bp.Errors())
+		if *duration > 0 && elapsed >= *duration {
+			return
+		}
+	}
+}

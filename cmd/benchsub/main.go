@@ -1,0 +1,87 @@
+// Command benchsub is the paper's Benchsub tool (§6): it opens a
+// configurable number of concurrent connections to a MigratoryData
+// deployment, subscribes each to one of the configured topics, and reports
+// end-to-end latency statistics (median, mean, standard deviation, 90th,
+// 95th, 99th percentiles) computed from the publisher timestamps embedded
+// in the notifications. Run it against cmd/migratorydata with cmd/benchpub
+// generating the load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"migratorydata/internal/loadgen"
+	"migratorydata/internal/metrics"
+	"migratorydata/internal/transport"
+)
+
+func main() {
+	var (
+		serversFlag = flag.String("servers", "127.0.0.1:8800", "comma-separated server addresses")
+		conns       = flag.Int("connections", 1000, "concurrent subscriber connections")
+		topics      = flag.Int("topics", 10, "number of topics (topic-0..topic-N-1)")
+		prefix      = flag.String("topic-prefix", "topic", "topic name prefix")
+		warmup      = flag.Duration("warmup", 10*time.Second, "warm-up before recording")
+		measure     = flag.Duration("measure", 60*time.Second, "recording window")
+		failover    = flag.Bool("failover", true, "reconnect to another server on failure")
+	)
+	flag.Parse()
+	servers := strings.Split(*serversFlag, ",")
+
+	hist := &metrics.Histogram{}
+	topicNames := make([]string, *topics)
+	for i := range topicNames {
+		topicNames[i] = fmt.Sprintf("%s-%d", *prefix, i)
+	}
+	var next int
+	attach := func(i int) (net.Conn, error) {
+		// Round-robin with failover skip: dial the next server that
+		// accepts (mirrors the client-side list of §5.1).
+		for try := 0; try < len(servers); try++ {
+			addr := servers[(i+next+try)%len(servers)]
+			c, err := transport.Dial("tcp", strings.TrimSpace(addr))
+			if err == nil {
+				next++
+				return c, nil
+			}
+		}
+		return nil, fmt.Errorf("no reachable server in %v", servers)
+	}
+
+	fmt.Printf("benchsub: %d connections, %d topics, servers %v\n", *conns, *topics, servers)
+	bs, err := loadgen.StartBenchsub(loadgen.SubConfig{
+		Connections: *conns,
+		Topics:      topicNames,
+		Attach:      attach,
+		Histogram:   hist,
+		Failover:    *failover,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer bs.Close()
+
+	fmt.Printf("warming up for %v...\n", *warmup)
+	time.Sleep(*warmup)
+	bs.StartRecording()
+	fmt.Printf("measuring for %v...\n", *measure)
+	time.Sleep(*measure)
+	bs.StopRecording()
+
+	s := hist.Snapshot()
+	fmt.Println(loadgen.RowHeader)
+	fmt.Printf("%8d  %7.2f  %7.2f  %7.2f  %7.2f  %7.2f  %7.2f      --       --  %4d\n",
+		*conns, s.Median, s.Mean, s.StdDev, s.P90, s.P95, s.P99, *topics)
+	fmt.Printf("received=%d recovered=%d reconnects=%d gaps=%d errors=%d\n",
+		bs.Received(), bs.Recovered(), bs.Reconnects(), bs.Gaps(), bs.Errors())
+	if bs.Gaps() != 0 {
+		fmt.Fprintln(os.Stderr, "WARNING: ordering/completeness violations observed")
+		os.Exit(1)
+	}
+}

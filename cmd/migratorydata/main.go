@@ -1,0 +1,132 @@
+// Command migratorydata runs a MigratoryData server.
+//
+// Single node (the paper's §4 engine):
+//
+//	migratorydata -listen :8800
+//
+// In-process cluster (the paper's §5 deployment; N members in one process,
+// each with its own listener on consecutive ports):
+//
+//	migratorydata -listen :8800 -cluster 3
+//
+// Clients connect over WebSocket by default (-mode raw for raw framing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"migratorydata/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8800", "listen address (host:port); cluster members use consecutive ports")
+		mode        = flag.String("mode", "ws", "client framing: ws or raw")
+		clusterSize = flag.Int("cluster", 1, "number of cluster members to run in this process (1 = single node)")
+		ioThreads   = flag.Int("iothreads", 0, "I/O threads per member (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker threads per member (0 = GOMAXPROCS)")
+		groups      = flag.Int("topic-groups", 100, "topic groups (cache/coordinator sharding)")
+		cacheCap    = flag.Int("cache", 1024, "history cache entries per topic")
+		batchDelay  = flag.Duration("batch-delay", 0, "output batching delay (0 = off)")
+		batchBytes  = flag.Int("batch-bytes", 32768, "output batching size trigger")
+		conflation  = flag.Duration("conflation", 0, "per-topic conflation interval (0 = off)")
+		statsEvery  = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		verbose     = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+		Level: map[bool]slog.Level{true: slog.LevelDebug, false: slog.LevelInfo}[*verbose],
+	}))
+
+	host, portStr, err := net.SplitHostPort(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -listen %q: %v\n", *listen, err)
+		os.Exit(1)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad port %q: %v\n", portStr, err)
+		os.Exit(1)
+	}
+
+	memberCfg := func(i int) server.Config {
+		return server.Config{
+			ID:                 fmt.Sprintf("server-%d", i+1),
+			ListenNetwork:      "tcp",
+			ListenAddr:         net.JoinHostPort(host, strconv.Itoa(basePort+i)),
+			Mode:               *mode,
+			IoThreads:          *ioThreads,
+			Workers:            *workers,
+			TopicGroups:        *groups,
+			CacheCapacity:      *cacheCap,
+			BatchMaxBytes:      *batchBytes,
+			BatchMaxDelay:      *batchDelay,
+			ConflationInterval: *conflation,
+			Logger:             logger,
+		}
+	}
+
+	var servers []*server.Server
+	if *clusterSize <= 1 {
+		srv := server.New(memberCfg(0))
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		servers = append(servers, srv)
+		logger.Info("single-node server listening", "addr", srv.Addr(), "mode", *mode)
+	} else {
+		members := make([]server.Config, *clusterSize)
+		for i := range members {
+			members[i] = memberCfg(i)
+		}
+		clu, err := server.NewCluster(server.ClusterSpec{Members: members})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := clu.WaitReady(10 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		servers = clu.Servers
+		for _, s := range servers {
+			logger.Info("cluster member listening", "id", s.ID(), "addr", s.Addr(), "mode", *mode)
+		}
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for range t.C {
+				for _, s := range servers {
+					st := s.Stats()
+					logger.Info("stats", "id", s.ID(),
+						"connections", st.Connections,
+						"published", st.Published,
+						"delivered", st.Delivered,
+						"gbps", fmt.Sprintf("%.3f", st.Gbps),
+						"cpu", fmt.Sprintf("%.1f%%", st.CPUUtilized*100))
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	logger.Info("shutting down")
+	for _, s := range servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,20 @@
+// Package migratorydata is a from-scratch Go reproduction of "Reliable
+// Messaging to Millions of Users with MigratoryData" (Rotaru, Olariu,
+// Onica, Rivière — Middleware Industry '17, arXiv:1712.09876).
+//
+// The public API lives in the client and server subpackages:
+//
+//   - migratorydata/server — the notification server: the vertically
+//     scalable single-node engine (IoThreads + Workers + sharded history
+//     cache, paper §4) and the replicated cluster (coordinator-based total
+//     ordering, replication, failure recovery, paper §5).
+//   - migratorydata/client — the client SDK: topic subscription with
+//     ordered delivery, missed-message recovery on reconnection, server
+//     blacklisting with truncated exponential back-off, duplicate
+//     filtering, and at-least-once publication (paper §3, §5.2.3).
+//
+// The benchmark harness regenerating every table and figure of the paper's
+// evaluation is in bench_test.go (go test -bench .) and the cmd/bench-*
+// tools. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package migratorydata

@@ -1,0 +1,163 @@
+// Package backoff implements the client-side reconnection policies from the
+// paper (§5.2.3): when a subscriber detects the failure of its connection it
+// blacklists the failed server temporarily and reconnects to another server,
+// pacing attempts either by a random wait or by truncated exponential
+// back-off so that a mass reconnection after a server failure does not
+// create a herd effect. Blacklisted servers are un-blacklisted after a
+// period so that recovered servers regain load.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy computes the wait before the n-th reconnection attempt (n starts
+// at 0 for the first retry).
+type Policy interface {
+	// Wait returns the pause before attempt n.
+	Wait(n int) time.Duration
+}
+
+// Exponential is a truncated exponential back-off with full jitter:
+// wait ~ Uniform(0, min(Max, Base·2ⁿ)). The zero value is not useful;
+// construct with NewExponential.
+type Exponential struct {
+	base time.Duration
+	max  time.Duration
+	rng  *rand.Rand
+	mu   sync.Mutex
+}
+
+// NewExponential returns a truncated exponential policy. base is the cap for
+// the first attempt; max truncates growth. seed fixes the jitter sequence
+// (use a per-client seed in production code so clients decorrelate).
+func NewExponential(base, max time.Duration, seed int64) *Exponential {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Exponential{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Wait implements Policy.
+func (e *Exponential) Wait(n int) time.Duration {
+	ceiling := e.base
+	for i := 0; i < n && ceiling < e.max; i++ {
+		ceiling *= 2
+	}
+	if ceiling > e.max {
+		ceiling = e.max
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.rng.Int63n(int64(ceiling) + 1))
+}
+
+// RandomWait pauses a uniformly random duration in [Min, Max] regardless of
+// the attempt number — the paper's "random wait between reconnection
+// intervals" option.
+type RandomWait struct {
+	min, max time.Duration
+	rng      *rand.Rand
+	mu       sync.Mutex
+}
+
+// NewRandomWait returns a random-wait policy over [min, max].
+func NewRandomWait(min, max time.Duration, seed int64) *RandomWait {
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	return &RandomWait{min: min, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Wait implements Policy.
+func (r *RandomWait) Wait(int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	span := int64(r.max - r.min)
+	if span == 0 {
+		return r.min
+	}
+	return r.min + time.Duration(r.rng.Int63n(span+1))
+}
+
+// Blacklist is the temporary server blacklist from §5.2.3. Failed servers
+// are added with an expiry; Expired entries are pruned on read so that
+// previously-failed servers are periodically retried and load does not stay
+// unbalanced after recovery. Safe for concurrent use.
+type Blacklist struct {
+	mu      sync.Mutex
+	entries map[string]time.Time // server -> expiry
+	ttl     time.Duration
+	now     func() time.Time // injectable clock for tests
+}
+
+// NewBlacklist returns a blacklist whose entries expire after ttl.
+func NewBlacklist(ttl time.Duration) *Blacklist {
+	return &Blacklist{
+		entries: make(map[string]time.Time),
+		ttl:     ttl,
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests only).
+func (b *Blacklist) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Add blacklists server for the configured TTL.
+func (b *Blacklist) Add(server string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entries[server] = b.now().Add(b.ttl)
+}
+
+// Contains reports whether server is currently blacklisted, pruning it if
+// its entry has expired.
+func (b *Blacklist) Contains(server string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	expiry, ok := b.entries[server]
+	if !ok {
+		return false
+	}
+	if b.now().After(expiry) {
+		delete(b.entries, server)
+		return false
+	}
+	return true
+}
+
+// Filter returns the servers not currently blacklisted, preserving order.
+// If every server is blacklisted it returns all of them: a client with no
+// acceptable server must still try something (the paper removes failed
+// servers from the blacklist periodically for the same reason).
+func (b *Blacklist) Filter(servers []string) []string {
+	out := make([]string, 0, len(servers))
+	for _, s := range servers {
+		if !b.Contains(s) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return append(out, servers...)
+	}
+	return out
+}
+
+// Len reports the number of (possibly expired) entries.
+func (b *Blacklist) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}

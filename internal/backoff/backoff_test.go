@@ -1,0 +1,146 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExponentialGrowthAndTruncation(t *testing.T) {
+	e := NewExponential(100*time.Millisecond, 800*time.Millisecond, 1)
+	// Ceiling per attempt: 100, 200, 400, 800, 800, ...
+	ceilings := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for n, ceil := range ceilings {
+		for trial := 0; trial < 200; trial++ {
+			w := e.Wait(n)
+			if w < 0 || w > ceil {
+				t.Fatalf("Wait(%d) = %v, want in [0, %v]", n, w, ceil)
+			}
+		}
+	}
+}
+
+func TestExponentialJitterVaries(t *testing.T) {
+	e := NewExponential(time.Second, time.Minute, 99)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[e.Wait(3)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct waits out of 50", len(seen))
+	}
+}
+
+func TestExponentialDefaults(t *testing.T) {
+	e := NewExponential(0, 0, 1)
+	w := e.Wait(0)
+	if w < 0 || w > 100*time.Millisecond {
+		t.Fatalf("defaulted Wait(0) = %v", w)
+	}
+}
+
+func TestRandomWaitBounds(t *testing.T) {
+	r := NewRandomWait(10*time.Millisecond, 30*time.Millisecond, 5)
+	for i := 0; i < 500; i++ {
+		w := r.Wait(i)
+		if w < 10*time.Millisecond || w > 30*time.Millisecond {
+			t.Fatalf("Wait = %v, want in [10ms, 30ms]", w)
+		}
+	}
+}
+
+func TestRandomWaitDegenerate(t *testing.T) {
+	r := NewRandomWait(20*time.Millisecond, 20*time.Millisecond, 5)
+	if w := r.Wait(0); w != 20*time.Millisecond {
+		t.Fatalf("Wait = %v, want 20ms", w)
+	}
+	r2 := NewRandomWait(-5, -10, 5)
+	if w := r2.Wait(0); w != 0 {
+		t.Fatalf("negative bounds Wait = %v, want 0", w)
+	}
+}
+
+func TestBlacklistAddContains(t *testing.T) {
+	b := NewBlacklist(time.Minute)
+	if b.Contains("s1") {
+		t.Fatal("empty blacklist contains s1")
+	}
+	b.Add("s1")
+	if !b.Contains("s1") {
+		t.Fatal("blacklist missing s1 after Add")
+	}
+}
+
+func TestBlacklistExpiry(t *testing.T) {
+	b := NewBlacklist(time.Minute)
+	now := time.Unix(1000, 0)
+	b.SetClock(func() time.Time { return now })
+	b.Add("s1")
+	if !b.Contains("s1") {
+		t.Fatal("s1 should be blacklisted")
+	}
+	now = now.Add(2 * time.Minute)
+	if b.Contains("s1") {
+		t.Fatal("s1 should have expired")
+	}
+	if b.Len() != 0 {
+		t.Fatal("expired entry not pruned on read")
+	}
+}
+
+func TestBlacklistFilter(t *testing.T) {
+	b := NewBlacklist(time.Minute)
+	servers := []string{"a", "b", "c"}
+	b.Add("b")
+	got := b.Filter(servers)
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Filter = %v, want [a c]", got)
+	}
+}
+
+func TestBlacklistFilterAllBlacklisted(t *testing.T) {
+	b := NewBlacklist(time.Minute)
+	servers := []string{"a", "b"}
+	b.Add("a")
+	b.Add("b")
+	got := b.Filter(servers)
+	if len(got) != 2 {
+		t.Fatalf("all-blacklisted Filter = %v, want all servers back", got)
+	}
+}
+
+func TestBlacklistReAddRefreshesExpiry(t *testing.T) {
+	b := NewBlacklist(time.Minute)
+	now := time.Unix(1000, 0)
+	b.SetClock(func() time.Time { return now })
+	b.Add("s1")
+	now = now.Add(50 * time.Second)
+	b.Add("s1") // refresh
+	now = now.Add(30 * time.Second)
+	if !b.Contains("s1") {
+		t.Fatal("refreshed entry expired too early")
+	}
+}
+
+func BenchmarkExponentialWait(b *testing.B) {
+	e := NewExponential(100*time.Millisecond, 30*time.Second, 1)
+	for i := 0; i < b.N; i++ {
+		e.Wait(i % 10)
+	}
+}
+
+func BenchmarkBlacklistFilter(b *testing.B) {
+	bl := NewBlacklist(time.Minute)
+	servers := []string{"a", "b", "c", "d", "e"}
+	bl.Add("c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Filter(servers)
+	}
+}

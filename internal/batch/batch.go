@@ -1,0 +1,186 @@
+// Package batch implements the two I/O-reduction techniques of paper §4:
+//
+//   - Batching: collecting messages together for a period of time or until a
+//     total size is reached before sending them in a single I/O operation to
+//     a client.
+//   - Conflation: aggregating messages for a period of time and sending the
+//     result of the aggregation in a single I/O operation to a client.
+//
+// Both types are passive state machines driven by their owner's loop (an
+// IoThread for batching, a Worker for conflation); they hold no goroutines
+// and no locks, because in the engine exactly one thread touches a given
+// instance (the paper's fixed client→thread assignment).
+package batch
+
+import "time"
+
+// Batcher accumulates encoded frames for one client. Frames are appended to
+// a single contiguous buffer so a flush is one Write call.
+type Batcher struct {
+	maxBytes int
+	maxDelay time.Duration
+	buf      []byte
+	count    int
+	oldest   time.Time // arrival of the first frame in buf
+}
+
+// NewBatcher returns a batcher that flushes when the pending size reaches
+// maxBytes or the oldest pending frame is maxDelay old. maxBytes <= 0
+// disables the size trigger; maxDelay <= 0 makes every Add flush immediately
+// (batching off).
+func NewBatcher(maxBytes int, maxDelay time.Duration) *Batcher {
+	return &Batcher{maxBytes: maxBytes, maxDelay: maxDelay}
+}
+
+// Add appends frame. It returns a non-nil buffer (the accumulated batch,
+// valid until the next Add) when the addition triggers a flush — because
+// batching is disabled or the size threshold is reached.
+func (b *Batcher) Add(now time.Time, frame []byte) []byte {
+	if b.maxDelay <= 0 {
+		// Batching off: pass through, but still via buf to keep the
+		// zero-copy contract uniform.
+		b.buf = append(b.buf[:0], frame...)
+		b.count = 1
+		return b.take()
+	}
+	if b.count == 0 {
+		b.oldest = now
+	}
+	b.buf = append(b.buf, frame...)
+	b.count++
+	if b.maxBytes > 0 && len(b.buf) >= b.maxBytes {
+		return b.take()
+	}
+	return nil
+}
+
+// Due returns the accumulated batch if the delay trigger has fired, nil
+// otherwise. Owners call this from their periodic tick.
+func (b *Batcher) Due(now time.Time) []byte {
+	if b.count == 0 || b.maxDelay <= 0 {
+		return nil
+	}
+	if now.Sub(b.oldest) >= b.maxDelay {
+		return b.take()
+	}
+	return nil
+}
+
+// Flush unconditionally returns whatever is pending (nil if nothing).
+func (b *Batcher) Flush() []byte {
+	if b.count == 0 {
+		return nil
+	}
+	return b.take()
+}
+
+// Pending reports the number of buffered frames.
+func (b *Batcher) Pending() int { return b.count }
+
+// PendingBytes reports the buffered size in bytes.
+func (b *Batcher) PendingBytes() int { return len(b.buf) }
+
+// take returns the buffer and resets state; the backing array is reused by
+// subsequent Adds, so callers must consume the batch before calling Add.
+func (b *Batcher) take() []byte {
+	out := b.buf
+	b.buf = b.buf[len(b.buf):]
+	if cap(b.buf) == 0 {
+		b.buf = nil
+	}
+	b.count = 0
+	if len(out) == 0 {
+		return nil
+	}
+	// Reset buf to reuse the array start once the caller is done; because
+	// the engine writes the batch before the next Add on the same Batcher,
+	// it is safe to rewind.
+	b.buf = out[:0]
+	return out
+}
+
+// MergeFunc combines a pending value with a newer one during conflation.
+// The default (nil) keeps the newer value ("last value wins" conflation,
+// the common mode for price/score tickers).
+type MergeFunc[T any] func(pending, incoming T) T
+
+// Conflated is one conflation output: the aggregated value for a topic.
+type Conflated[T any] struct {
+	Topic string
+	Value T
+	// Count is the number of raw messages aggregated into Value.
+	Count int
+}
+
+// Conflator aggregates per-topic values over a fixed interval.
+type Conflator[T any] struct {
+	interval time.Duration
+	merge    MergeFunc[T]
+	pending  map[string]*conflationSlot[T]
+}
+
+type conflationSlot[T any] struct {
+	value T
+	count int
+	since time.Time
+}
+
+// NewConflator returns a conflator emitting at most one value per topic per
+// interval. merge may be nil (keep newest).
+func NewConflator[T any](interval time.Duration, merge MergeFunc[T]) *Conflator[T] {
+	return &Conflator[T]{
+		interval: interval,
+		merge:    merge,
+		pending:  make(map[string]*conflationSlot[T]),
+	}
+}
+
+// Offer submits a value for topic. It returns the value to emit immediately
+// (and true) if conflation is disabled (interval <= 0).
+func (c *Conflator[T]) Offer(now time.Time, topic string, v T) (T, bool) {
+	if c.interval <= 0 {
+		return v, true
+	}
+	slot := c.pending[topic]
+	if slot == nil {
+		c.pending[topic] = &conflationSlot[T]{value: v, count: 1, since: now}
+		var zero T
+		return zero, false
+	}
+	if c.merge != nil {
+		slot.value = c.merge(slot.value, v)
+	} else {
+		slot.value = v
+	}
+	slot.count++
+	return slot.value, false
+}
+
+// Drain returns the aggregated values whose interval has elapsed, clearing
+// them from the pending set.
+func (c *Conflator[T]) Drain(now time.Time) []Conflated[T] {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	var out []Conflated[T]
+	for topic, slot := range c.pending {
+		if now.Sub(slot.since) >= c.interval {
+			out = append(out, Conflated[T]{Topic: topic, Value: slot.value, Count: slot.count})
+			delete(c.pending, topic)
+		}
+	}
+	return out
+}
+
+// FlushAll returns every pending aggregate regardless of age.
+func (c *Conflator[T]) FlushAll() []Conflated[T] {
+	var out []Conflated[T]
+	for topic, slot := range c.pending {
+		out = append(out, Conflated[T]{Topic: topic, Value: slot.value, Count: slot.count})
+		delete(c.pending, topic)
+	}
+	return out
+}
+
+// PendingTopics reports how many topics have a pending aggregate.
+func (c *Conflator[T]) PendingTopics() int { return len(c.pending) }

@@ -1,0 +1,183 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func TestBatcherDisabledPassThrough(t *testing.T) {
+	b := NewBatcher(1024, 0)
+	out := b.Add(t0, []byte("abc"))
+	if string(out) != "abc" {
+		t.Fatalf("disabled batcher Add = %q, want abc", out)
+	}
+	if b.Pending() != 0 {
+		t.Fatal("pass-through left pending state")
+	}
+}
+
+func TestBatcherSizeTrigger(t *testing.T) {
+	b := NewBatcher(10, time.Second)
+	if out := b.Add(t0, []byte("12345")); out != nil {
+		t.Fatalf("first add flushed early: %q", out)
+	}
+	out := b.Add(t0, []byte("67890"))
+	if string(out) != "1234567890" {
+		t.Fatalf("size-triggered flush = %q", out)
+	}
+	if b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatal("state not reset after flush")
+	}
+}
+
+func TestBatcherDelayTrigger(t *testing.T) {
+	b := NewBatcher(1<<20, 50*time.Millisecond)
+	b.Add(t0, []byte("aa"))
+	b.Add(t0.Add(10*time.Millisecond), []byte("bb"))
+	if out := b.Due(t0.Add(30 * time.Millisecond)); out != nil {
+		t.Fatalf("Due fired early: %q", out)
+	}
+	out := b.Due(t0.Add(51 * time.Millisecond))
+	if string(out) != "aabb" {
+		t.Fatalf("Due = %q, want aabb", out)
+	}
+	if out := b.Due(t0.Add(time.Hour)); out != nil {
+		t.Fatal("Due fired twice")
+	}
+}
+
+func TestBatcherDelayMeasuredFromOldest(t *testing.T) {
+	b := NewBatcher(1<<20, 50*time.Millisecond)
+	b.Add(t0, []byte("a"))
+	// A newer frame must not push the deadline out.
+	b.Add(t0.Add(40*time.Millisecond), []byte("b"))
+	if out := b.Due(t0.Add(55 * time.Millisecond)); string(out) != "ab" {
+		t.Fatalf("Due = %q, want ab (deadline from oldest frame)", out)
+	}
+}
+
+func TestBatcherFlush(t *testing.T) {
+	b := NewBatcher(1<<20, time.Hour)
+	if b.Flush() != nil {
+		t.Fatal("Flush on empty batcher")
+	}
+	b.Add(t0, []byte("x"))
+	if out := b.Flush(); string(out) != "x" {
+		t.Fatalf("Flush = %q", out)
+	}
+}
+
+func TestBatcherNoSizeTrigger(t *testing.T) {
+	b := NewBatcher(0, time.Hour) // size trigger off
+	for i := 0; i < 1000; i++ {
+		if out := b.Add(t0, bytes.Repeat([]byte{1}, 100)); out != nil {
+			t.Fatal("size trigger fired with maxBytes=0")
+		}
+	}
+	if b.Pending() != 1000 {
+		t.Fatalf("Pending = %d", b.Pending())
+	}
+}
+
+func TestBatcherReuseAfterFlush(t *testing.T) {
+	b := NewBatcher(1<<20, time.Hour)
+	b.Add(t0, []byte("first"))
+	out1 := string(b.Flush())
+	b.Add(t0, []byte("second"))
+	out2 := string(b.Flush())
+	if out1 != "first" || out2 != "second" {
+		t.Fatalf("flushes = %q, %q", out1, out2)
+	}
+}
+
+func TestConflatorDisabled(t *testing.T) {
+	c := NewConflator[int](0, nil)
+	v, emit := c.Offer(t0, "t", 42)
+	if !emit || v != 42 {
+		t.Fatalf("disabled conflator Offer = %d, %v", v, emit)
+	}
+}
+
+func TestConflatorKeepLast(t *testing.T) {
+	c := NewConflator[int](50*time.Millisecond, nil)
+	c.Offer(t0, "t", 1)
+	c.Offer(t0.Add(10*time.Millisecond), "t", 2)
+	c.Offer(t0.Add(20*time.Millisecond), "t", 3)
+	if got := c.Drain(t0.Add(30 * time.Millisecond)); got != nil {
+		t.Fatalf("Drain fired early: %v", got)
+	}
+	got := c.Drain(t0.Add(51 * time.Millisecond))
+	if len(got) != 1 || got[0].Value != 3 || got[0].Count != 3 || got[0].Topic != "t" {
+		t.Fatalf("Drain = %+v", got)
+	}
+	if c.PendingTopics() != 0 {
+		t.Fatal("pending not cleared")
+	}
+}
+
+func TestConflatorCustomMerge(t *testing.T) {
+	c := NewConflator[int](time.Millisecond, func(a, b int) int { return a + b })
+	c.Offer(t0, "sum", 1)
+	c.Offer(t0, "sum", 2)
+	c.Offer(t0, "sum", 3)
+	got := c.Drain(t0.Add(time.Hour))
+	if len(got) != 1 || got[0].Value != 6 {
+		t.Fatalf("merged Drain = %+v", got)
+	}
+}
+
+func TestConflatorPerTopicIntervals(t *testing.T) {
+	c := NewConflator[string](50*time.Millisecond, nil)
+	c.Offer(t0, "a", "a1")
+	c.Offer(t0.Add(40*time.Millisecond), "b", "b1")
+	got := c.Drain(t0.Add(55 * time.Millisecond))
+	if len(got) != 1 || got[0].Topic != "a" {
+		t.Fatalf("Drain = %+v, want only topic a", got)
+	}
+	got = c.Drain(t0.Add(95 * time.Millisecond))
+	if len(got) != 1 || got[0].Topic != "b" {
+		t.Fatalf("Drain = %+v, want topic b", got)
+	}
+}
+
+func TestConflatorFlushAll(t *testing.T) {
+	c := NewConflator[int](time.Hour, nil)
+	c.Offer(t0, "a", 1)
+	c.Offer(t0, "b", 2)
+	got := c.FlushAll()
+	if len(got) != 2 {
+		t.Fatalf("FlushAll = %+v", got)
+	}
+	if c.PendingTopics() != 0 {
+		t.Fatal("FlushAll left pending topics")
+	}
+}
+
+func BenchmarkBatcherAdd(b *testing.B) {
+	bt := NewBatcher(64<<10, time.Millisecond)
+	frame := make([]byte, 160)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := bt.Add(now, frame); out != nil {
+			_ = out
+		}
+	}
+}
+
+func BenchmarkConflatorOffer(b *testing.B) {
+	c := NewConflator[[]byte](time.Millisecond, nil)
+	v := make([]byte, 140)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Offer(now, "ticker", v)
+		if i%1000 == 0 {
+			now = now.Add(2 * time.Millisecond)
+			c.Drain(now)
+		}
+	}
+}

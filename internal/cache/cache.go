@@ -1,0 +1,204 @@
+// Package cache implements the MigratoryData history cache (paper §4): for
+// each topic it keeps the recent messages needed for failure recovery, both
+// for clients reconnecting after a temporary loss of connectivity and for
+// servers reconstructing state after a crash or partition (§5.2.2).
+//
+// To scale vertically the cache avoids write contention by grouping topics
+// into topic groups with a hash of their name; each group's data structures
+// are locked independently. Because each cluster server coordinates (and
+// thus replicates first) a distinct subset of topic groups, writes are
+// generally un-contended.
+package cache
+
+import (
+	"sync"
+
+	"migratorydata/internal/hashing"
+)
+
+// DefaultTopicGroups matches the paper's "typical MigratoryData installation
+// uses 100 topic groups".
+const DefaultTopicGroups = 100
+
+// DefaultPerTopicCapacity bounds the per-topic history ring.
+const DefaultPerTopicCapacity = 1024
+
+// Entry is one cached message for a topic. Ordering within a topic is the
+// lexicographic order of (Epoch, Seq): Seq is assigned by the topic-group
+// coordinator and Epoch increments on coordinator change (§5.2.1).
+type Entry struct {
+	ID        string // publisher-assigned message identifier
+	Epoch     uint32
+	Seq       uint64
+	Timestamp int64 // publisher send time (Unix nanoseconds)
+	Payload   []byte
+	Flags     uint8
+}
+
+// After reports whether e is ordered strictly after position (epoch, seq).
+func (e Entry) After(epoch uint32, seq uint64) bool {
+	if e.Epoch != epoch {
+		return e.Epoch > epoch
+	}
+	return e.Seq > seq
+}
+
+// Cache is the sharded history cache. Construct with New.
+type Cache struct {
+	groups      []*group
+	perTopicCap int
+}
+
+// group holds the topics of one topic group under a single lock.
+type group struct {
+	mu     sync.RWMutex
+	topics map[string]*ring
+}
+
+// ring is a fixed-capacity circular history for one topic.
+type ring struct {
+	entries []Entry
+	start   int // index of oldest entry
+	length  int
+}
+
+// New returns a cache with numGroups topic groups and perTopicCap history
+// entries per topic. Non-positive arguments select the defaults.
+func New(numGroups, perTopicCap int) *Cache {
+	if numGroups <= 0 {
+		numGroups = DefaultTopicGroups
+	}
+	if perTopicCap <= 0 {
+		perTopicCap = DefaultPerTopicCapacity
+	}
+	c := &Cache{
+		groups:      make([]*group, numGroups),
+		perTopicCap: perTopicCap,
+	}
+	for i := range c.groups {
+		c.groups[i] = &group{topics: make(map[string]*ring)}
+	}
+	return c
+}
+
+// NumGroups reports the number of topic groups.
+func (c *Cache) NumGroups() int { return len(c.groups) }
+
+// GroupOf returns the topic group a topic belongs to.
+func (c *Cache) GroupOf(topic string) int {
+	return hashing.TopicGroup(topic, len(c.groups))
+}
+
+// Append stores e in topic's history. It returns false (and stores nothing)
+// if e is not ordered strictly after the newest cached entry — replication
+// may legitimately deliver a message twice (§3 allows duplicates), and the
+// cache keeps appends idempotent.
+func (c *Cache) Append(topic string, e Entry) bool {
+	g := c.groups[c.GroupOf(topic)]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.topics[topic]
+	if r == nil {
+		r = &ring{entries: make([]Entry, c.perTopicCap)}
+		g.topics[topic] = r
+	}
+	if r.length > 0 {
+		newest := r.entries[(r.start+r.length-1)%len(r.entries)]
+		if !e.After(newest.Epoch, newest.Seq) {
+			return false
+		}
+	}
+	if r.length == len(r.entries) {
+		r.entries[r.start] = e
+		r.start = (r.start + 1) % len(r.entries)
+	} else {
+		r.entries[(r.start+r.length)%len(r.entries)] = e
+		r.length++
+	}
+	return true
+}
+
+// Since returns up to limit entries of topic ordered strictly after
+// (epoch, seq), oldest first. limit <= 0 means no limit. The returned slice
+// is freshly allocated; entries are shared (callers must not mutate
+// payloads).
+func (c *Cache) Since(topic string, epoch uint32, seq uint64, limit int) []Entry {
+	g := c.groups[c.GroupOf(topic)]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r := g.topics[topic]
+	if r == nil {
+		return nil
+	}
+	var out []Entry
+	for i := 0; i < r.length; i++ {
+		e := r.entries[(r.start+i)%len(r.entries)]
+		if !e.After(epoch, seq) {
+			continue
+		}
+		out = append(out, e)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Latest returns the newest entry for topic.
+func (c *Cache) Latest(topic string) (Entry, bool) {
+	g := c.groups[c.GroupOf(topic)]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r := g.topics[topic]
+	if r == nil || r.length == 0 {
+		return Entry{}, false
+	}
+	return r.entries[(r.start+r.length-1)%len(r.entries)], true
+}
+
+// Position returns the (epoch, seq) of the newest entry for topic, or ok ==
+// false if the topic has no history.
+func (c *Cache) Position(topic string) (epoch uint32, seq uint64, ok bool) {
+	e, ok := c.Latest(topic)
+	if !ok {
+		return 0, 0, false
+	}
+	return e.Epoch, e.Seq, true
+}
+
+// TopicsInGroup lists the topics currently cached in group gid.
+func (c *Cache) TopicsInGroup(gid int) []string {
+	if gid < 0 || gid >= len(c.groups) {
+		return nil
+	}
+	g := c.groups[gid]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.topics))
+	for t := range g.topics {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Topics lists every cached topic across all groups.
+func (c *Cache) Topics() []string {
+	var out []string
+	for gid := range c.groups {
+		out = append(out, c.TopicsInGroup(gid)...)
+	}
+	return out
+}
+
+// Len reports the total number of cached entries across all topics.
+func (c *Cache) Len() int {
+	total := 0
+	for _, g := range c.groups {
+		g.mu.RLock()
+		for _, r := range g.topics {
+			total += r.length
+		}
+		g.mu.RUnlock()
+	}
+	return total
+}

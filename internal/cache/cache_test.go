@@ -1,0 +1,318 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndLatest(t *testing.T) {
+	c := New(10, 8)
+	if _, ok := c.Latest("t"); ok {
+		t.Fatal("Latest on empty topic returned ok")
+	}
+	if !c.Append("t", Entry{Epoch: 1, Seq: 1, ID: "a"}) {
+		t.Fatal("first append rejected")
+	}
+	e, ok := c.Latest("t")
+	if !ok || e.ID != "a" {
+		t.Fatalf("Latest = %+v, %v", e, ok)
+	}
+}
+
+func TestAppendRejectsStaleAndDuplicate(t *testing.T) {
+	c := New(10, 8)
+	c.Append("t", Entry{Epoch: 1, Seq: 5})
+	if c.Append("t", Entry{Epoch: 1, Seq: 5}) {
+		t.Fatal("duplicate (same epoch/seq) accepted")
+	}
+	if c.Append("t", Entry{Epoch: 1, Seq: 4}) {
+		t.Fatal("stale seq accepted")
+	}
+	if c.Append("t", Entry{Epoch: 0, Seq: 100}) {
+		t.Fatal("stale epoch accepted")
+	}
+	if !c.Append("t", Entry{Epoch: 1, Seq: 6}) {
+		t.Fatal("next seq rejected")
+	}
+	if !c.Append("t", Entry{Epoch: 2, Seq: 1}) {
+		t.Fatal("new epoch with lower seq rejected (epochs order first)")
+	}
+}
+
+func TestSinceBasic(t *testing.T) {
+	c := New(10, 16)
+	for i := 1; i <= 10; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i), ID: fmt.Sprint(i)})
+	}
+	got := c.Since("t", 1, 4, 0)
+	if len(got) != 6 {
+		t.Fatalf("Since returned %d entries, want 6", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(5+i) {
+			t.Fatalf("entry %d has seq %d, want %d (ordered oldest-first)", i, e.Seq, 5+i)
+		}
+	}
+}
+
+func TestSinceLimit(t *testing.T) {
+	c := New(10, 16)
+	for i := 1; i <= 10; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	got := c.Since("t", 0, 0, 3)
+	if len(got) != 3 || got[2].Seq != 3 {
+		t.Fatalf("limited Since = %v", got)
+	}
+}
+
+func TestSinceUnknownTopic(t *testing.T) {
+	c := New(10, 16)
+	if got := c.Since("nope", 0, 0, 0); got != nil {
+		t.Fatalf("Since unknown topic = %v", got)
+	}
+}
+
+func TestSinceAcrossEpochs(t *testing.T) {
+	c := New(10, 16)
+	c.Append("t", Entry{Epoch: 1, Seq: 8})
+	c.Append("t", Entry{Epoch: 1, Seq: 9})
+	c.Append("t", Entry{Epoch: 2, Seq: 1}) // coordinator changed
+	c.Append("t", Entry{Epoch: 2, Seq: 2})
+	got := c.Since("t", 1, 9, 0)
+	if len(got) != 2 || got[0].Epoch != 2 || got[0].Seq != 1 {
+		t.Fatalf("Since across epochs = %v", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	c := New(10, 4)
+	for i := 1; i <= 10; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	got := c.Since("t", 0, 0, 0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(got))
+	}
+	if got[0].Seq != 7 || got[3].Seq != 10 {
+		t.Fatalf("ring contents = %v, want seqs 7..10", got)
+	}
+}
+
+func TestPosition(t *testing.T) {
+	c := New(10, 8)
+	if _, _, ok := c.Position("t"); ok {
+		t.Fatal("Position on empty topic")
+	}
+	c.Append("t", Entry{Epoch: 3, Seq: 77})
+	e, s, ok := c.Position("t")
+	if !ok || e != 3 || s != 77 {
+		t.Fatalf("Position = %d %d %v", e, s, ok)
+	}
+}
+
+func TestGroupOfConsistentWithTopicsInGroup(t *testing.T) {
+	c := New(25, 8)
+	topics := []string{"a", "b", "c", "scores/1", "odds/2"}
+	for _, topic := range topics {
+		c.Append(topic, Entry{Epoch: 1, Seq: 1})
+	}
+	for _, topic := range topics {
+		found := false
+		for _, got := range c.TopicsInGroup(c.GroupOf(topic)) {
+			if got == topic {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("topic %q not listed in its group %d", topic, c.GroupOf(topic))
+		}
+	}
+	if got := c.TopicsInGroup(-1); got != nil {
+		t.Fatal("TopicsInGroup(-1) should be nil")
+	}
+	if got := c.TopicsInGroup(999); got != nil {
+		t.Fatal("TopicsInGroup(out of range) should be nil")
+	}
+}
+
+func TestTopicsAndLen(t *testing.T) {
+	c := New(10, 8)
+	c.Append("a", Entry{Epoch: 1, Seq: 1})
+	c.Append("a", Entry{Epoch: 1, Seq: 2})
+	c.Append("b", Entry{Epoch: 1, Seq: 1})
+	if len(c.Topics()) != 2 {
+		t.Fatalf("Topics = %v", c.Topics())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(0, 0)
+	if c.NumGroups() != DefaultTopicGroups {
+		t.Fatalf("NumGroups = %d", c.NumGroups())
+	}
+}
+
+func TestPropertySinceReturnsExactlyNewer(t *testing.T) {
+	// Property: for any monotone append sequence and any query position,
+	// Since returns exactly the cached entries after that position, in order.
+	err := quick.Check(func(seqsRaw []uint8, queryRaw uint8) bool {
+		c := New(4, 64)
+		var appended []Entry
+		seq := uint64(0)
+		for _, d := range seqsRaw {
+			seq += uint64(d%5) + 1
+			e := Entry{Epoch: 1, Seq: seq}
+			c.Append("t", e)
+			appended = append(appended, e)
+		}
+		if len(appended) > 64 {
+			appended = appended[len(appended)-64:]
+		}
+		query := uint64(queryRaw)
+		var want []uint64
+		for _, e := range appended {
+			if e.Seq > query {
+				want = append(want, e.Seq)
+			}
+		}
+		got := c.Since("t", 1, query, 0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Seq != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppendDistinctTopics(t *testing.T) {
+	c := New(100, 128)
+	var wg sync.WaitGroup
+	const writers = 8
+	const perWriter = 1000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			topic := fmt.Sprintf("topic-%d", w)
+			for i := 1; i <= perWriter; i++ {
+				if !c.Append(topic, Entry{Epoch: 1, Seq: uint64(i)}) {
+					t.Errorf("append rejected for %s seq %d", topic, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		topic := fmt.Sprintf("topic-%d", w)
+		if got := len(c.Since(topic, 0, 0, 0)); got != 128 {
+			t.Fatalf("%s has %d entries, want 128 (ring capacity)", topic, got)
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	c := New(10, 64)
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; i < 500; i++ {
+				entries := c.Since("t", 1, 0, 0)
+				for j := 1; j < len(entries); j++ {
+					if !entries[j].After(entries[j-1].Epoch, entries[j-1].Seq) {
+						t.Error("Since returned out-of-order entries")
+						return
+					}
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+}
+
+func BenchmarkAppendSingleTopic(b *testing.B) {
+	c := New(100, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Append("bench", Entry{Epoch: 1, Seq: uint64(i + 1), Payload: nil})
+	}
+}
+
+func BenchmarkAppendShardedParallel(b *testing.B) {
+	// Writers hit distinct topic groups — the design point of the sharded
+	// cache (paper §4). Compare with BenchmarkAppendGlobalContention.
+	c := New(100, 1024)
+	var id int64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		id++
+		topic := fmt.Sprintf("topic-%d", id)
+		mu.Unlock()
+		seq := uint64(0)
+		for pb.Next() {
+			seq++
+			c.Append(topic, Entry{Epoch: 1, Seq: seq})
+		}
+	})
+}
+
+func BenchmarkAppendGlobalContention(b *testing.B) {
+	// All writers hit one group (single-group cache = one global lock):
+	// the ablation baseline for BenchmarkAppendShardedParallel.
+	c := New(1, 1024)
+	var id int64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		id++
+		topic := fmt.Sprintf("topic-%d", id)
+		mu.Unlock()
+		seq := uint64(0)
+		for pb.Next() {
+			seq++
+			c.Append(topic, Entry{Epoch: 1, Seq: seq})
+		}
+	})
+}
+
+func BenchmarkSince(b *testing.B) {
+	c := New(100, 1024)
+	for i := 1; i <= 1024; i++ {
+		c.Append("bench", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Since("bench", 1, 1000, 0)
+	}
+}

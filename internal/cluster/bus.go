@@ -1,0 +1,88 @@
+// Package cluster implements MigratoryData's horizontal scaling and
+// reliability layer (paper §5): subscriber partitioning with publication
+// broadcast, a coordinator/sequencer per topic group elected through the
+// coordination service, lazily-maintained gossip maps, replication with
+// acknowledgement after two copies, coordinator takeover with epoch
+// increments, partition self-fencing, and cache reconstruction.
+package cluster
+
+import (
+	"sync"
+
+	"migratorydata/internal/protocol"
+	"migratorydata/internal/queue"
+)
+
+// PeerFrame is one cluster-internal message together with its sender.
+type PeerFrame struct {
+	From string
+	Msg  *protocol.Message
+}
+
+// Bus is the in-process server↔server transport. Like the paper's cluster
+// links it delivers messages in per-sender FIFO order and can simulate the
+// fault model: crash (Unregister) and single-server partition
+// (SetPartitioned). Message payloads are shared, never copied — handlers
+// treat them as read-only.
+type Bus struct {
+	mu       sync.Mutex
+	inboxes  map[string]*queue.MPSC[PeerFrame]
+	isolated map[string]bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		inboxes:  make(map[string]*queue.MPSC[PeerFrame]),
+		isolated: make(map[string]bool),
+	}
+}
+
+// Register attaches a member's inbox.
+func (b *Bus) Register(id string, inbox *queue.MPSC[PeerFrame]) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inboxes[id] = inbox
+}
+
+// Unregister detaches a member (crash-stop).
+func (b *Bus) Unregister(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.inboxes, id)
+}
+
+// SetPartitioned isolates or reconnects a member: traffic from or to an
+// isolated member is dropped while it keeps running — the paper's "network
+// partition of one server from other servers (but not necessarily from its
+// connected clients)".
+func (b *Bus) SetPartitioned(id string, partitioned bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.isolated[id] = partitioned
+}
+
+// Send delivers m from one member to another. It reports whether the
+// message was handed to a live, reachable inbox.
+func (b *Bus) Send(from, to string, m *protocol.Message) bool {
+	b.mu.Lock()
+	inbox := b.inboxes[to]
+	blocked := b.isolated[from] || b.isolated[to]
+	b.mu.Unlock()
+	if inbox == nil || blocked {
+		return false
+	}
+	inbox.Push(PeerFrame{From: from, Msg: m})
+	return true
+}
+
+// Members lists currently registered member IDs.
+func (b *Bus) Members() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.inboxes))
+	for id := range b.inboxes {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"migratorydata/internal/consensus"
+	"migratorydata/internal/coord"
+	"migratorydata/internal/core"
+	"migratorydata/internal/metrics"
+	"migratorydata/internal/protocol"
+	"migratorydata/internal/queue"
+)
+
+// Config parametrizes one cluster member.
+type Config struct {
+	// ID names this member; Peers lists every member (including this one).
+	ID    string
+	Peers []string
+	// Engine configures the embedded single-node engine. ServerID and
+	// Publish are overridden by the cluster layer.
+	Engine core.Config
+	// SessionTTL, OpTimeout, TickEvery tune the coordination service.
+	SessionTTL time.Duration
+	OpTimeout  time.Duration
+	TickEvery  time.Duration
+	// PartitionGrace is how long this member tolerates losing quorum
+	// before it preventively closes its clients (§5.2.2). Default:
+	// 2 × SessionTTL.
+	PartitionGrace time.Duration
+	// CatchupTimeout bounds cache-reconstruction waits. Default 3s.
+	CatchupTimeout time.Duration
+	// AckCopies is the number of servers that must hold a publication
+	// before its publisher is acknowledged. The paper's production value
+	// is 2 (coordinator + one replica), tolerating one fault; §5.2 notes
+	// the protocol extends to more concurrent faults "by increasing the
+	// degree of replication before acknowledging clients" — set 3 to
+	// tolerate two faults, etc. Every member must use the same value.
+	AckCopies int
+	// Seed fixes randomized choices (peer selection, elections).
+	Seed int64
+	// Logger receives debug events. Default: discard.
+	Logger *slog.Logger
+}
+
+// gossipEntry is one probabilistic coordinator mapping (§5.2.1).
+type gossipEntry struct {
+	Server string
+	Epoch  uint32
+}
+
+// pendingPub tracks a publication awaiting its durability signal.
+type pendingPub struct {
+	client    *core.Client
+	msgID     string
+	added     time.Time
+	remaining int    // replica acks still needed (coordinator side)
+	contact   string // contact server to notify when remaining hits zero
+	epoch     uint32
+	seq       uint64
+}
+
+// catchupState tracks one in-flight cache reconstruction request.
+type catchupState struct {
+	done      chan struct{}
+	remaining atomic.Int32
+}
+
+// Node is one MigratoryData cluster member: an engine for its share of the
+// subscribers, a coordination-service replica, and the replication logic.
+type Node struct {
+	cfg    Config
+	id     string
+	engine *core.Engine
+	coords *coord.Service
+	bus    *Bus
+	logger *slog.Logger
+
+	inbox *queue.MPSC[PeerFrame]
+
+	mu          sync.Mutex
+	coordinated map[int32]uint32 // groups this node sequences -> epoch
+	gossip      map[int32]gossipEntry
+	watched     map[int32]string // group -> owner we have a live watch on
+	pendingFwd  map[string]*pendingPub
+	pendingAck  map[string]*pendingPub
+	catchups    map[string]*catchupState
+
+	groupLocks []sync.Mutex
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	fenced  atomic.Bool
+	stopped atomic.Bool
+	bgStop  chan struct{}
+	wg      sync.WaitGroup
+
+	stats nodeStats
+}
+
+// nodeStats counts cluster-layer events.
+type nodeStats struct {
+	forwarded  metrics.Counter
+	replicated metrics.Counter
+	takeovers  metrics.Counter
+	fences     metrics.Counter
+}
+
+// NewNode constructs a member wired to bus (engine traffic) and mesh
+// (coordination-service traffic). The returned node is live: its engine
+// accepts attachments immediately.
+func NewNode(cfg Config, bus *Bus, mesh *consensus.Mesh) *Node {
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = time.Second
+	}
+	if cfg.PartitionGrace <= 0 {
+		cfg.PartitionGrace = 2 * cfg.SessionTTL
+	}
+	if cfg.CatchupTimeout <= 0 {
+		cfg.CatchupTimeout = 3 * time.Second
+	}
+	if cfg.AckCopies <= 0 {
+		cfg.AckCopies = 2
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	n := &Node{
+		cfg:         cfg,
+		id:          cfg.ID,
+		bus:         bus,
+		logger:      cfg.Logger.With("node", cfg.ID),
+		inbox:       queue.NewMPSC[PeerFrame](),
+		coordinated: make(map[int32]uint32),
+		gossip:      make(map[int32]gossipEntry),
+		watched:     make(map[int32]string),
+		pendingFwd:  make(map[string]*pendingPub),
+		pendingAck:  make(map[string]*pendingPub),
+		catchups:    make(map[string]*catchupState),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		bgStop:      make(chan struct{}),
+	}
+
+	engCfg := cfg.Engine
+	engCfg.ServerID = cfg.ID
+	engCfg.Publish = n.handlePublish
+	n.engine = core.New(engCfg)
+	n.groupLocks = make([]sync.Mutex, n.engine.Cache().NumGroups())
+
+	n.coords = coord.New(coord.Config{
+		ID: cfg.ID, Peers: cfg.Peers,
+		SessionTTL: cfg.SessionTTL,
+		OpTimeout:  cfg.OpTimeout,
+		TickEvery:  cfg.TickEvery,
+		Seed:       cfg.Seed,
+	}, mesh.Send)
+	mesh.Register(cfg.ID, n.coords.Runner())
+	bus.Register(cfg.ID, n.inbox)
+
+	n.wg.Add(2)
+	go n.dispatchLoop()
+	go n.background()
+	return n
+}
+
+// Engine exposes the embedded engine (Serve/Attach/Stats).
+func (n *Node) Engine() *core.Engine { return n.engine }
+
+// Coord exposes the coordination-service replica.
+func (n *Node) Coord() *coord.Service { return n.coords }
+
+// ID returns the member name.
+func (n *Node) ID() string { return n.id }
+
+// Fenced reports whether the node has self-fenced due to a partition.
+func (n *Node) Fenced() bool { return n.fenced.Load() }
+
+// CoordinatedGroups returns the topic groups this member currently
+// sequences.
+func (n *Node) CoordinatedGroups() []int32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]int32, 0, len(n.coordinated))
+	for g := range n.coordinated {
+		out = append(out, g)
+	}
+	return out
+}
+
+// ClusterStats is a snapshot of cluster-layer counters.
+type ClusterStats struct {
+	Forwarded  int64
+	Replicated int64
+	Takeovers  int64
+	Fences     int64
+}
+
+// Stats returns the cluster-layer counters.
+func (n *Node) Stats() ClusterStats {
+	return ClusterStats{
+		Forwarded:  n.stats.forwarded.Value(),
+		Replicated: n.stats.replicated.Value(),
+		Takeovers:  n.stats.takeovers.Value(),
+		Fences:     n.stats.fences.Value(),
+	}
+}
+
+// dispatchLoop consumes peer messages. A single goroutine preserves
+// per-sender FIFO order, which the replication path relies on.
+func (n *Node) dispatchLoop() {
+	defer n.wg.Done()
+	for {
+		frames, ok := n.inbox.PopWait()
+		if !ok {
+			return
+		}
+		for i := range frames {
+			n.handlePeer(frames[i].From, frames[i].Msg)
+		}
+		n.inbox.Recycle(frames)
+	}
+}
+
+// background watches quorum health for partition self-fencing (§5.2.2: a
+// partitioned member "figures this out by experiencing timeouts for its
+// requests and the inability to write to its local ZooKeeper instance...
+// preventively closes the connections to its local clients") and sweeps
+// stale pending-publication state.
+func (n *Node) background() {
+	defer n.wg.Done()
+	interval := n.cfg.SessionTTL / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var quorumLostAt time.Time
+	for {
+		select {
+		case <-n.bgStop:
+			return
+		case <-t.C:
+		}
+		if n.coords.HasQuorum() {
+			quorumLostAt = time.Time{}
+			if n.fenced.Load() {
+				n.recoverFromFence()
+			}
+		} else {
+			if quorumLostAt.IsZero() {
+				quorumLostAt = time.Now()
+			} else if time.Since(quorumLostAt) > n.cfg.PartitionGrace && !n.fenced.Load() {
+				n.fence()
+			}
+		}
+		n.sweepPending()
+	}
+}
+
+// fence reacts to a detected partition: close local clients so they
+// reconnect to reachable members, and drop coordinator roles (their
+// ephemeral entries will expire on the majority side regardless).
+func (n *Node) fence() {
+	n.logger.Info("quorum lost, fencing: closing local clients")
+	n.stats.fences.Inc()
+	n.fenced.Store(true)
+	n.mu.Lock()
+	n.coordinated = make(map[int32]uint32)
+	n.gossip = make(map[int32]gossipEntry)
+	n.mu.Unlock()
+	n.engine.CloseAllClients()
+}
+
+// recoverFromFence runs the §5.2.2 recovery: reconstruct the cache from all
+// members in parallel, then resume service.
+func (n *Node) recoverFromFence() {
+	n.logger.Info("quorum restored, reconstructing cache")
+	n.Recover()
+	n.fenced.Store(false)
+}
+
+// Recover reconstructs this member's history cache by asking every other
+// member in parallel (crash restart and partition healing, §5.2.2).
+func (n *Node) Recover() {
+	var wg sync.WaitGroup
+	for _, peer := range n.cfg.Peers {
+		if peer == n.id {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			n.catchupFromPeer(peer, -1)
+		}(peer)
+	}
+	wg.Wait()
+}
+
+// sweepPending fails publications stuck waiting longer than the op timeout
+// (their coordinator died mid-flight); the publisher will republish.
+func (n *Node) sweepPending() {
+	limit := n.cfg.OpTimeout
+	if limit <= 0 {
+		limit = 2 * time.Second
+	}
+	cutoff := time.Now().Add(-limit)
+	n.mu.Lock()
+	var expired []*pendingPub
+	for key, p := range n.pendingFwd {
+		if p.added.Before(cutoff) {
+			expired = append(expired, p)
+			delete(n.pendingFwd, key)
+		}
+	}
+	for key, p := range n.pendingAck {
+		if p.added.Before(cutoff) {
+			expired = append(expired, p)
+			delete(n.pendingAck, key)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range expired {
+		n.nack(p.client, p.msgID)
+	}
+}
+
+// nack tells a publisher its publication failed; it should republish.
+func (n *Node) nack(c *core.Client, msgID string) {
+	if c == nil {
+		return
+	}
+	c.Send(&protocol.Message{
+		Kind: protocol.KindPubAck, ID: msgID, Status: protocol.StatusFailed,
+	})
+}
+
+// randomPeer picks a cluster member uniformly at random (possibly this
+// one) — the §5.2.1 indirection that spreads coordinator roles.
+func (n *Node) randomPeer() string {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.cfg.Peers[n.rng.Intn(len(n.cfg.Peers))]
+}
+
+// groupKey is the coordination-store key for a topic group's coordinator.
+func groupKey(g int32) string { return fmt.Sprintf("groups/%d", g) }
+
+// Stop crash-stops the member: engine closed, coordination session
+// abandoned (its ephemeral entries will expire cluster-wide).
+func (n *Node) Stop() {
+	if n.stopped.Swap(true) {
+		return
+	}
+	close(n.bgStop)
+	n.bus.Unregister(n.id)
+	n.engine.Close()
+	n.coords.Stop()
+	n.inbox.Close()
+	n.wg.Wait()
+}

@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"migratorydata/internal/cache"
+	"migratorydata/internal/coord"
+	"migratorydata/internal/core"
+	"migratorydata/internal/protocol"
+)
+
+// fallbackID distinguishes publications whose publisher supplied no message
+// ID; uniqueness matters for pending-ack correlation and client-side
+// duplicate filtering.
+var fallbackID atomic.Uint64
+
+// pendingKey correlates a publication across forward/replicate/ack frames.
+func pendingKey(topic, id string) string { return topic + "\x00" + id }
+
+// handlePublish is the engine's PublishFunc in cluster mode (§5.2.2).
+func (n *Node) handlePublish(from *core.Client, m *protocol.Message) {
+	if m.Topic == "" {
+		n.nack(from, m.ID)
+		return
+	}
+	if n.fenced.Load() {
+		// A partitioned server cannot guarantee durability; the client
+		// should reconnect elsewhere (its connection is being closed).
+		if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
+			from.Send(&protocol.Message{
+				Kind: protocol.KindPubAck, ID: m.ID, Status: protocol.StatusRedirect,
+			})
+		}
+		return
+	}
+	if m.ID == "" {
+		m.ID = fmt.Sprintf("%s#%d", n.id, fallbackID.Add(1))
+	}
+	g := int32(n.engine.Cache().GroupOf(m.Topic))
+
+	n.mu.Lock()
+	epoch, mine := n.coordinated[g]
+	ge, known := n.gossip[g]
+	n.mu.Unlock()
+
+	if mine {
+		n.sequenceAndReplicate(g, epoch, from, "", m)
+		return
+	}
+	if known && ge.Server != n.id {
+		n.forwardTo(ge.Server, g, from, m)
+		return
+	}
+	// Coordinator unknown: start an election via a random member (§5.2.1's
+	// indirection, "to avoid that a server used as a connection point by a
+	// publisher creating many topics becomes overloaded with coordinator
+	// responsibilities").
+	target := n.randomPeer()
+	if target == n.id {
+		go n.takeoverAndPublish(g, from, "", m)
+		return
+	}
+	n.forwardTo(target, g, from, m)
+}
+
+// forwardTo sends a publication to (what we believe is) the coordinator's
+// server and records the pending ack expectation: the contact server learns
+// durability when it receives the replication broadcast (§5.2.2).
+func (n *Node) forwardTo(server string, g int32, from *core.Client, m *protocol.Message) {
+	if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
+		n.mu.Lock()
+		n.pendingFwd[pendingKey(m.Topic, m.ID)] = &pendingPub{
+			client: from, msgID: m.ID, added: time.Now(),
+		}
+		n.mu.Unlock()
+	}
+	fwd := *m
+	fwd.Kind = protocol.KindForward
+	fwd.ClientID = n.id
+	fwd.Group = g
+	n.stats.forwarded.Inc()
+	if !n.bus.Send(n.id, server, &fwd) {
+		// Peer gone: drop the stale gossip entry and fail the publication;
+		// the republish will trigger a fresh election.
+		n.mu.Lock()
+		if ge, ok := n.gossip[g]; ok && ge.Server == server {
+			delete(n.gossip, g)
+		}
+		delete(n.pendingFwd, pendingKey(m.Topic, m.ID))
+		n.mu.Unlock()
+		n.nack(from, m.ID)
+	}
+}
+
+// sequenceAndReplicate is the coordinator path: assign (epoch, seq), store,
+// fan out locally, broadcast to the cluster, and arrange the publisher ack
+// once AckCopies servers hold the message. from != nil means the publisher
+// is a local client of this server; contact != "" means the publication
+// was forwarded by a contact server, whose own client is acknowledged
+// either by the broadcast's arrival there (degree 2, the paper's protocol)
+// or by an explicit KindPubDone once enough replica acks arrive (degree
+// > 2, the §5.2 extension).
+func (n *Node) sequenceAndReplicate(g int32, epoch uint32, from *core.Client, contact string, m *protocol.Message) {
+	c := n.engine.Cache()
+	lock := &n.groupLocks[g]
+	lock.Lock()
+	curEpoch, curSeq, ok := c.Position(m.Topic)
+	var seq uint64
+	switch {
+	case !ok || curEpoch < epoch:
+		seq = 1
+	case curEpoch == epoch:
+		seq = curSeq + 1
+	default:
+		// The cache already has a newer epoch: our coordinator role is
+		// stale. Fail the publication; the retry re-routes.
+		lock.Unlock()
+		n.mu.Lock()
+		delete(n.coordinated, g)
+		n.mu.Unlock()
+		n.nack(from, m.ID)
+		return
+	}
+	entry := cache.Entry{
+		ID:        m.ID,
+		Epoch:     epoch,
+		Seq:       seq,
+		Timestamp: m.Timestamp,
+		Payload:   m.Payload,
+	}
+	c.Append(m.Topic, entry)
+	n.engine.Deliver(m.Topic, entry)
+	rep := &protocol.Message{
+		Kind:      protocol.KindReplicate,
+		ClientID:  n.id,
+		Topic:     m.Topic,
+		ID:        m.ID,
+		Payload:   m.Payload,
+		Epoch:     epoch,
+		Seq:       seq,
+		Group:     g,
+		Timestamp: m.Timestamp,
+	}
+	sent := 0
+	for _, peer := range n.cfg.Peers {
+		if peer == n.id {
+			continue
+		}
+		if n.bus.Send(n.id, peer, rep) {
+			sent++
+		}
+	}
+	lock.Unlock()
+	n.stats.replicated.Inc()
+
+	if m.Flags&protocol.FlagAckRequired == 0 {
+		return
+	}
+	needed := n.cfg.AckCopies - 1 // remote copies beyond the coordinator's
+	switch {
+	case from != nil:
+		if sent < needed {
+			// Not enough reachable replicas for the configured durability.
+			// A one-node deployment degrades to single-copy durability and
+			// acks immediately; otherwise fail so the publisher retries.
+			if len(n.cfg.Peers) == 1 {
+				from.Send(&protocol.Message{
+					Kind: protocol.KindPubAck, ID: m.ID,
+					Epoch: epoch, Seq: seq, Status: protocol.StatusOK,
+				})
+			} else {
+				n.nack(from, m.ID)
+			}
+			return
+		}
+		n.mu.Lock()
+		n.pendingAck[pendingKey(m.Topic, m.ID)] = &pendingPub{
+			client: from, msgID: m.ID, added: time.Now(), remaining: needed,
+		}
+		n.mu.Unlock()
+	case contact != "" && n.cfg.AckCopies > 2:
+		// Degree > 2: the contact's copy plus the coordinator's are not
+		// enough; track replica acks and notify the contact explicitly.
+		if sent < needed {
+			n.bus.Send(n.id, contact, &protocol.Message{
+				Kind: protocol.KindForwardFail, ClientID: n.id,
+				Topic: m.Topic, ID: m.ID, Group: g,
+			})
+			return
+		}
+		n.mu.Lock()
+		n.pendingAck[pendingKey(m.Topic, m.ID)] = &pendingPub{
+			msgID: m.ID, added: time.Now(), remaining: needed,
+			contact: contact, epoch: epoch, seq: seq,
+		}
+		n.mu.Unlock()
+	}
+}
+
+// takeoverAndPublish attempts to become coordinator of g (the §5.2.1 race —
+// "the necessary write to ZooKeeper can succeed only for a single server")
+// and then sequences the pending publication. Exactly one of from (local
+// publisher) and contact (forwarding server) is set.
+func (n *Node) takeoverAndPublish(g int32, from *core.Client, contact string, m *protocol.Message) {
+	epoch, err := n.becomeCoordinator(g)
+	if err != nil {
+		// Lost the race or no quorum: report back so the publication is
+		// failed and republished against fresher gossip (§5.2.2 fn. 3).
+		owner, _ := n.coords.Get(groupKey(g))
+		if contact != "" {
+			fail := &protocol.Message{
+				Kind: protocol.KindForwardFail, ClientID: owner,
+				Topic: m.Topic, ID: m.ID, Group: g,
+			}
+			n.bus.Send(n.id, contact, fail)
+		} else {
+			n.learnGossip(g, owner, 0)
+			n.nack(from, m.ID)
+		}
+		return
+	}
+	n.sequenceAndReplicate(g, epoch, from, contact, m)
+}
+
+// becomeCoordinator races for the group's ephemeral entry, catches the
+// group's history up from peers, and installs the role.
+func (n *Node) becomeCoordinator(g int32) (uint32, error) {
+	n.mu.Lock()
+	if epoch, mine := n.coordinated[g]; mine {
+		n.mu.Unlock()
+		return epoch, nil
+	}
+	n.mu.Unlock()
+	index, err := n.coords.CreateEphemeral(groupKey(g), n.id)
+	if err != nil {
+		return 0, err
+	}
+	epoch := uint32(index)
+	// Catch up this group's topics from the cluster before sequencing, so
+	// our cache is complete and new sequence numbers extend the history
+	// (paper §5.2.2's cache-recovery protocol, applied at takeover).
+	n.catchupGroup(g)
+	n.mu.Lock()
+	n.coordinated[g] = epoch
+	n.mu.Unlock()
+	n.stats.takeovers.Inc()
+	n.logger.Debug("became coordinator", "group", g, "epoch", epoch)
+	// Populate everyone's gossip map (§5.2.1: the winner "broadcasts the
+	// information to other servers in order to populate their gossip maps").
+	ann := &protocol.Message{
+		Kind: protocol.KindGossip, ClientID: n.id, Group: g, Epoch: epoch,
+	}
+	for _, peer := range n.cfg.Peers {
+		if peer != n.id {
+			n.bus.Send(n.id, peer, ann)
+		}
+	}
+	return epoch, nil
+}
+
+// learnGossip records a coordinator mapping and arranges the failure watch
+// on its entry (§5.2.1: watches tell other servers "that a coordinator for
+// a topic group has failed or became unreachable").
+func (n *Node) learnGossip(g int32, server string, epoch uint32) {
+	if server == "" || server == n.id {
+		return
+	}
+	n.mu.Lock()
+	cur, ok := n.gossip[g]
+	if ok && cur.Epoch > epoch {
+		n.mu.Unlock()
+		return // stale gossip
+	}
+	n.gossip[g] = gossipEntry{Server: server, Epoch: epoch}
+	needWatch := n.watched[g] != server
+	if needWatch {
+		n.watched[g] = server
+	}
+	n.mu.Unlock()
+	if needWatch {
+		n.coords.WatchDelete(groupKey(g), func(string) { n.onCoordinatorGone(g, server) })
+	}
+}
+
+// onCoordinatorGone fires when a coordinator's ephemeral entry disappears:
+// drop it from gossip and try to take over (§5.2.1: "other servers that had
+// set watches on these assignments attempt to take over the responsibility
+// upon this notification, with the guarantee that a single one will
+// succeed").
+func (n *Node) onCoordinatorGone(g int32, server string) {
+	if n.stopped.Load() || n.fenced.Load() {
+		return
+	}
+	n.mu.Lock()
+	if cur, ok := n.gossip[g]; ok && cur.Server == server {
+		delete(n.gossip, g)
+	}
+	if n.watched[g] == server {
+		delete(n.watched, g)
+	}
+	n.mu.Unlock()
+	if _, err := n.becomeCoordinator(g); err != nil {
+		// Someone else won (or we are partitioned): learn the new owner.
+		if errors.Is(err, coord.ErrExists) {
+			owner, _ := n.coords.Get(groupKey(g))
+			n.learnGossip(g, owner, 0)
+		}
+	}
+}
+
+// handlePeer dispatches one cluster-internal frame.
+func (n *Node) handlePeer(from string, m *protocol.Message) {
+	switch m.Kind {
+	case protocol.KindForward:
+		n.handleForward(from, m)
+	case protocol.KindForwardFail:
+		n.handleForwardFail(m)
+	case protocol.KindReplicate:
+		n.handleReplicate(from, m)
+	case protocol.KindReplicateAck:
+		n.handleReplicateAck(m)
+	case protocol.KindGossip:
+		n.learnGossip(m.Group, m.ClientID, m.Epoch)
+	case protocol.KindCacheRequest:
+		n.handleCacheRequest(from, m)
+	case protocol.KindCacheResponse:
+		n.handleCacheResponse(m)
+	case protocol.KindPubDone:
+		n.handlePubDone(m)
+	default:
+		n.logger.Debug("unexpected peer frame", "kind", m.Kind, "from", from)
+	}
+}
+
+// handleForward processes a publication forwarded by a contact server: if
+// we coordinate the group we sequence it; otherwise we run for coordinator
+// (this is both the normal forward path and the §5.2.1 random-designate
+// election).
+func (n *Node) handleForward(from string, m *protocol.Message) {
+	g := m.Group
+	n.mu.Lock()
+	epoch, mine := n.coordinated[g]
+	n.mu.Unlock()
+	pub := *m
+	pub.Kind = protocol.KindPublish
+	if mine {
+		n.sequenceAndReplicate(g, epoch, nil, from, &pub)
+		return
+	}
+	// The election involves a quorum write; do not block the dispatcher.
+	go n.takeoverAndPublish(g, nil, from, &pub)
+}
+
+// handleForwardFail processes a failed forward: fail the publisher (it will
+// republish) and adopt the real owner into gossip (§5.2.2: republication
+// "will eventually succeed thanks to an updated gossip map").
+func (n *Node) handleForwardFail(m *protocol.Message) {
+	n.learnGossip(m.Group, m.ClientID, 0)
+	n.mu.Lock()
+	p := n.pendingFwd[pendingKey(m.Topic, m.ID)]
+	delete(n.pendingFwd, pendingKey(m.Topic, m.ID))
+	n.mu.Unlock()
+	if p != nil {
+		n.nack(p.client, p.msgID)
+	}
+}
+
+// handleReplicate stores and fans out a sequenced publication broadcast by
+// a coordinator, acks it back, and — if this server was the publication's
+// contact point — acknowledges the publisher: the broadcast's arrival
+// proves the message is recorded on at least two servers (§5.2.2).
+func (n *Node) handleReplicate(from string, m *protocol.Message) {
+	n.learnGossip(m.Group, m.ClientID, m.Epoch)
+	entry := cache.Entry{
+		ID:        m.ID,
+		Epoch:     m.Epoch,
+		Seq:       m.Seq,
+		Timestamp: m.Timestamp,
+		Payload:   m.Payload,
+	}
+	if n.engine.Cache().Append(m.Topic, entry) {
+		n.engine.Deliver(m.Topic, entry)
+	}
+	ack := &protocol.Message{
+		Kind: protocol.KindReplicateAck, ClientID: n.id,
+		Topic: m.Topic, ID: m.ID, Epoch: m.Epoch, Seq: m.Seq, Group: m.Group,
+	}
+	n.bus.Send(n.id, from, ack)
+
+	// Contact-side ack at the paper's replication degree: the broadcast's
+	// arrival proves two copies exist (coordinator + this server). At
+	// higher degrees the coordinator sends KindPubDone instead.
+	if n.cfg.AckCopies <= 2 {
+		n.mu.Lock()
+		p := n.pendingFwd[pendingKey(m.Topic, m.ID)]
+		delete(n.pendingFwd, pendingKey(m.Topic, m.ID))
+		n.mu.Unlock()
+		if p != nil && p.client != nil {
+			p.client.Send(&protocol.Message{
+				Kind: protocol.KindPubAck, ID: p.msgID,
+				Epoch: m.Epoch, Seq: m.Seq, Status: protocol.StatusOK,
+			})
+		}
+	}
+}
+
+// handleReplicateAck advances a pending publication toward its replication
+// degree; when enough copies exist the publisher (local) or contact
+// (forwarded) is notified.
+func (n *Node) handleReplicateAck(m *protocol.Message) {
+	key := pendingKey(m.Topic, m.ID)
+	n.mu.Lock()
+	p := n.pendingAck[key]
+	if p != nil {
+		p.remaining--
+		if p.remaining > 0 {
+			n.mu.Unlock()
+			return
+		}
+		delete(n.pendingAck, key)
+	}
+	n.mu.Unlock()
+	if p == nil {
+		return
+	}
+	switch {
+	case p.client != nil:
+		p.client.Send(&protocol.Message{
+			Kind: protocol.KindPubAck, ID: p.msgID,
+			Epoch: m.Epoch, Seq: m.Seq, Status: protocol.StatusOK,
+		})
+	case p.contact != "":
+		n.bus.Send(n.id, p.contact, &protocol.Message{
+			Kind: protocol.KindPubDone, ClientID: n.id,
+			Topic: m.Topic, ID: p.msgID, Epoch: p.epoch, Seq: p.seq,
+		})
+	}
+}
+
+// handlePubDone acknowledges a forwarded publication that reached the
+// configured replication degree (degree > 2 deployments).
+func (n *Node) handlePubDone(m *protocol.Message) {
+	n.mu.Lock()
+	p := n.pendingFwd[pendingKey(m.Topic, m.ID)]
+	delete(n.pendingFwd, pendingKey(m.Topic, m.ID))
+	n.mu.Unlock()
+	if p != nil && p.client != nil {
+		p.client.Send(&protocol.Message{
+			Kind: protocol.KindPubAck, ID: p.msgID,
+			Epoch: m.Epoch, Seq: m.Seq, Status: protocol.StatusOK,
+		})
+	}
+}
+
+// handleCacheRequest streams the requested group's history (all groups when
+// Group == -1) back to the requester, ending with an empty-topic done
+// marker carrying the request's correlation ID.
+func (n *Node) handleCacheRequest(from string, m *protocol.Message) {
+	c := n.engine.Cache()
+	groups := make([]int, 0, 1)
+	if m.Group == -1 {
+		for g := 0; g < c.NumGroups(); g++ {
+			groups = append(groups, g)
+		}
+	} else {
+		groups = append(groups, int(m.Group))
+	}
+	for _, g := range groups {
+		for _, topic := range c.TopicsInGroup(g) {
+			for _, e := range c.Since(topic, 0, 0, 0) {
+				resp := &protocol.Message{
+					Kind: protocol.KindCacheResponse, ClientID: n.id,
+					Topic: topic, ID: e.ID, Payload: e.Payload,
+					Epoch: e.Epoch, Seq: e.Seq, Timestamp: e.Timestamp,
+					Group: int32(g),
+				}
+				if !n.bus.Send(n.id, from, resp) {
+					return
+				}
+			}
+		}
+	}
+	done := &protocol.Message{
+		Kind: protocol.KindCacheResponse, ClientID: n.id,
+		ID: m.ID, Group: m.Group, Status: protocol.StatusOK,
+	}
+	n.bus.Send(n.id, from, done)
+}
+
+// handleCacheResponse applies one recovered entry, or completes a catch-up
+// wait on the done marker.
+func (n *Node) handleCacheResponse(m *protocol.Message) {
+	if m.Topic != "" {
+		n.engine.Cache().Append(m.Topic, cache.Entry{
+			ID: m.ID, Epoch: m.Epoch, Seq: m.Seq,
+			Timestamp: m.Timestamp, Payload: m.Payload,
+		})
+		return
+	}
+	// Done marker: m.ID is the correlation key.
+	n.mu.Lock()
+	st := n.catchups[m.ID]
+	n.mu.Unlock()
+	if st != nil && st.remaining.Add(-1) == 0 {
+		close(st.done)
+	}
+}
+
+// catchupCounter makes catch-up correlation IDs unique.
+var catchupCounter atomic.Uint64
+
+// catchupGroup synchronously pulls one group's history from all peers.
+func (n *Node) catchupGroup(g int32) {
+	n.catchupFrom(n.livePeers(), g)
+}
+
+// catchupFromPeer synchronously pulls history from one peer (g == -1 for
+// everything).
+func (n *Node) catchupFromPeer(peer string, g int32) {
+	n.catchupFrom([]string{peer}, g)
+}
+
+// catchupFrom requests history for group g from the given peers and waits
+// for all done markers (or the catch-up timeout).
+func (n *Node) catchupFrom(peers []string, g int32) {
+	if len(peers) == 0 {
+		return
+	}
+	corr := fmt.Sprintf("catchup-%s-%d", n.id, catchupCounter.Add(1))
+	st := &catchupState{done: make(chan struct{})}
+	n.mu.Lock()
+	n.catchups[corr] = st
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.catchups, corr)
+		n.mu.Unlock()
+	}()
+
+	sent := int32(0)
+	for _, peer := range peers {
+		req := &protocol.Message{
+			Kind: protocol.KindCacheRequest, ClientID: n.id, ID: corr, Group: g,
+		}
+		if n.bus.Send(n.id, peer, req) {
+			sent++
+		}
+	}
+	if sent == 0 {
+		return
+	}
+	st.remaining.Store(sent)
+	select {
+	case <-st.done:
+	case <-time.After(n.cfg.CatchupTimeout):
+		n.logger.Debug("catch-up timed out", "group", g)
+	}
+}
+
+// livePeers lists the other members currently registered on the bus.
+func (n *Node) livePeers() []string {
+	members := n.bus.Members()
+	out := members[:0]
+	for _, id := range members {
+		if id != n.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}

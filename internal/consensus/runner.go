@@ -1,0 +1,181 @@
+package consensus
+
+import (
+	"sync"
+	"time"
+
+	"migratorydata/internal/queue"
+)
+
+// SendFunc delivers a message toward m.To. Implementations must not block
+// indefinitely: the in-process mesh enqueues, and network transports must
+// buffer or drop (Raft tolerates loss).
+type SendFunc func(m Message)
+
+// Runner drives a Node with real time and a transport: it owns the only
+// goroutine touching the Node, turning Step/Tick outputs into SendFunc
+// calls. Inbound messages arrive via Deliver from any goroutine.
+type Runner struct {
+	node *Node
+	send SendFunc
+
+	events   *queue.MPSC[Message]
+	tickStop chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu sync.Mutex // guards reads of node state from other goroutines
+}
+
+// tickSentinel marks a tick event in the queue (Type 0 is unused).
+var tickSentinel = Message{Type: 0}
+
+// NewRunner wraps node. tickEvery is the real-time length of one logical
+// tick (election timeout = ElectionTicks × tickEvery).
+func NewRunner(node *Node, send SendFunc, tickEvery time.Duration) *Runner {
+	r := &Runner{
+		node:     node,
+		send:     send,
+		events:   queue.NewMPSC[Message](),
+		tickStop: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go r.loop()
+	go r.tickLoop(tickEvery)
+	return r
+}
+
+func (r *Runner) tickLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.tickStop:
+			return
+		case <-t.C:
+			r.events.Push(tickSentinel)
+		}
+	}
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	for {
+		batch, ok := r.events.PopWait()
+		if !ok {
+			return
+		}
+		for _, m := range batch {
+			var out []Message
+			r.mu.Lock()
+			if m.Type == 0 {
+				out = r.node.Tick()
+			} else {
+				out = r.node.Step(m)
+			}
+			r.mu.Unlock()
+			for _, o := range out {
+				r.send(o)
+			}
+		}
+		r.events.Recycle(batch)
+	}
+}
+
+// Deliver hands an inbound message to the node. Safe from any goroutine.
+func (r *Runner) Deliver(m Message) { r.events.Push(m) }
+
+// Propose submits a command: appended directly if this node leads,
+// forwarded to the leader otherwise. The commit (if any) is observed via
+// the node's apply callback. Returns ErrNoLeader when routing is impossible.
+func (r *Runner) Propose(cmd []byte) error {
+	r.mu.Lock()
+	_, msgs, err := r.node.Propose(cmd)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		r.send(m)
+	}
+	return nil
+}
+
+// Leader reports the node's current leader view.
+func (r *Runner) Leader() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Leader()
+}
+
+// State reports the node's current role.
+func (r *Runner) State() StateKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.State()
+}
+
+// IsLeader reports whether this node currently leads.
+func (r *Runner) IsLeader() bool { return r.State() == Leader }
+
+// Stop terminates the runner's goroutines. Idempotent.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.tickStop)
+		r.events.Close()
+	})
+	<-r.done
+}
+
+// Mesh is an in-process transport connecting the Runners of one cluster:
+// Send routes by Message.To. Register every runner before traffic flows.
+// A Partition set can isolate nodes to exercise the paper's fault model
+// (crash or partition of one server, §5.2).
+type Mesh struct {
+	mu       sync.Mutex
+	members  map[string]*Runner
+	isolated map[string]bool
+}
+
+// NewMesh returns an empty mesh.
+func NewMesh() *Mesh {
+	return &Mesh{
+		members:  make(map[string]*Runner),
+		isolated: make(map[string]bool),
+	}
+}
+
+// Register adds a runner reachable as id.
+func (m *Mesh) Register(id string, r *Runner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.members[id] = r
+}
+
+// Unregister removes a runner (crash simulation).
+func (m *Mesh) Unregister(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.members, id)
+}
+
+// SetPartitioned isolates (or reconnects) id: messages from or to an
+// isolated node are dropped, while the node keeps running — the paper's
+// "network partition of one server from other servers" fault.
+func (m *Mesh) SetPartitioned(id string, partitioned bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.isolated[id] = partitioned
+}
+
+// Send implements SendFunc semantics for the whole mesh.
+func (m *Mesh) Send(msg Message) {
+	m.mu.Lock()
+	target := m.members[msg.To]
+	dropped := m.isolated[msg.From] || m.isolated[msg.To]
+	m.mu.Unlock()
+	if target == nil || dropped {
+		return
+	}
+	target.Deliver(msg)
+}

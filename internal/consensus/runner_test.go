@@ -1,0 +1,151 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// liveCluster runs n real Runners over a Mesh with short ticks.
+type liveCluster struct {
+	mesh    *Mesh
+	runners []*Runner
+	applied []*appliedLog
+}
+
+type appliedLog struct {
+	mu   sync.Mutex
+	cmds []string
+}
+
+func (a *appliedLog) add(cmd string) {
+	a.mu.Lock()
+	a.cmds = append(a.cmds, cmd)
+	a.mu.Unlock()
+}
+
+func (a *appliedLog) snapshot() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.cmds...)
+}
+
+func newLiveCluster(t *testing.T, n int) *liveCluster {
+	t.Helper()
+	mesh := NewMesh()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("live-%d", i)
+	}
+	lc := &liveCluster{mesh: mesh}
+	for i, id := range ids {
+		log := &appliedLog{}
+		lc.applied = append(lc.applied, log)
+		node := NewNode(Config{ID: id, Peers: ids, Seed: int64(i + 1)},
+			func(e Entry) { log.add(string(e.Cmd)) })
+		r := NewRunner(node, mesh.Send, 5*time.Millisecond)
+		mesh.Register(id, r)
+		lc.runners = append(lc.runners, r)
+	}
+	t.Cleanup(func() {
+		for _, r := range lc.runners {
+			r.Stop()
+		}
+	})
+	return lc
+}
+
+func (lc *liveCluster) waitLeader(t *testing.T) *Runner {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, r := range lc.runners {
+			if r.IsLeader() {
+				return r
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no leader under real time")
+	return nil
+}
+
+func TestRunnerElectsAndReplicates(t *testing.T) {
+	lc := newLiveCluster(t, 3)
+	ld := lc.waitLeader(t)
+	if err := ld.Propose([]byte("real-time-cmd")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, log := range lc.applied {
+			if cmds := log.snapshot(); len(cmds) == 1 && cmds[0] == "real-time-cmd" {
+				done++
+			}
+		}
+		if done == 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("command did not replicate to all runners")
+}
+
+func TestRunnerFollowerProposalForwarded(t *testing.T) {
+	lc := newLiveCluster(t, 3)
+	ld := lc.waitLeader(t)
+	var follower *Runner
+	for _, r := range lc.runners {
+		if r != ld {
+			follower = r
+			break
+		}
+	}
+	// The follower may briefly not know the leader; retry as a client would.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := follower.Propose([]byte("fwd")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never learned the leader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for time.Now().Before(deadline) {
+		if cmds := lc.applied[0].snapshot(); len(cmds) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("forwarded proposal not applied")
+}
+
+func TestRunnerLeaderStepsDownWhenPartitioned(t *testing.T) {
+	lc := newLiveCluster(t, 3)
+	ld := lc.waitLeader(t)
+	lc.mesh.SetPartitioned(ld.node.ID(), true)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !ld.IsLeader() {
+			return // check-quorum fired
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("partitioned leader never stepped down (check-quorum broken)")
+}
+
+func TestRunnerStopIdempotent(t *testing.T) {
+	node := NewNode(Config{ID: "solo", Peers: []string{"solo"}}, nil)
+	r := NewRunner(node, func(Message) {}, time.Millisecond)
+	r.Stop()
+	r.Stop()
+}
+
+func TestMeshUnregisteredDropped(t *testing.T) {
+	mesh := NewMesh()
+	// Sending to an unknown member must not panic or block.
+	mesh.Send(Message{From: "a", To: "ghost"})
+}

@@ -1,0 +1,137 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentCreatesDistinctKeys(t *testing.T) {
+	c := newCluster(t, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for i := 0; i < 10; i++ {
+		for s := 0; s < 3; s++ {
+			wg.Add(1)
+			go func(i, s int) {
+				defer wg.Done()
+				_, err := c.services[s].CreateEphemeral(fmt.Sprintf("k/%d-%d", s, i), "v")
+				errs <- err
+			}(i, s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("distinct-key create failed: %v", err)
+		}
+	}
+	// All replicas converge to 30 keys.
+	waitUntil(t, 5*time.Second, func() bool {
+		for _, s := range c.services {
+			if len(s.Snapshot()) != 30 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestRecreateAfterDelete(t *testing.T) {
+	c := newCluster(t, 3)
+	if _, err := c.services[0].CreateEphemeral("recycle", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.services[0].Delete("recycle"); err != nil {
+		t.Fatal(err)
+	}
+	// A different session can now win the key.
+	if _, err := c.services[1].CreateEphemeral("recycle", "v2"); err != nil {
+		t.Fatalf("re-create after delete: %v", err)
+	}
+	owner, ok := c.services[1].Owner("recycle")
+	if !ok || owner != "srv-1" {
+		t.Fatalf("owner = %q %v", owner, ok)
+	}
+}
+
+func TestWatchFiresOncePerRegistration(t *testing.T) {
+	c := newCluster(t, 3)
+	if _, err := c.services[0].CreateEphemeral("once-key", "v"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, func() bool {
+		_, ok := c.services[1].Get("once-key")
+		return ok
+	})
+	fired := make(chan struct{}, 4)
+	c.services[1].WatchDelete("once-key", func(string) { fired <- struct{}{} })
+	c.services[0].Delete("once-key")
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch did not fire")
+	}
+	// Re-create and delete again: the consumed watch must NOT fire again.
+	if _, err := c.services[0].CreateEphemeral("once-key", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.services[0].Delete("once-key"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+		t.Fatal("one-shot watch fired twice")
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestEpochIndexesStrictlyIncrease(t *testing.T) {
+	// The cluster layer relies on CreateEphemeral's log index increasing
+	// across successive owners of the same key.
+	c := newCluster(t, 3)
+	idx1, err := c.services[0].CreateEphemeral("epoch-key", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.services[0].Delete("epoch-key"); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := c.services[1].CreateEphemeral("epoch-key", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2 <= idx1 {
+		t.Fatalf("create indices not increasing: %d then %d", idx1, idx2)
+	}
+}
+
+func TestDeleteMissingKeyOK(t *testing.T) {
+	c := newCluster(t, 3)
+	if err := c.services[0].Delete("never-existed"); err != nil {
+		t.Fatalf("delete of missing key errored: %v", err)
+	}
+}
+
+func TestHasQuorum(t *testing.T) {
+	c := newCluster(t, 3)
+	waitUntil(t, 2*time.Second, func() bool { return c.services[0].HasQuorum() })
+	victim := c.services[2]
+	c.mesh.SetPartitioned("srv-2", true)
+	waitUntil(t, 5*time.Second, func() bool { return !victim.HasQuorum() })
+}
+
+func TestOwnerOfPersistentKeyNotReported(t *testing.T) {
+	c := newCluster(t, 3)
+	if err := c.services[0].Create("plain-key", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.services[0].Owner("plain-key"); ok {
+		t.Fatal("Owner reported for a persistent (non-ephemeral) key")
+	}
+}
+
+var _ = errors.Is

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"migratorydata/internal/batch"
+	"migratorydata/internal/protocol"
+)
+
+// Client is one connected publisher or subscriber. Per the paper §4, a
+// client is assigned to exactly one IoThread and one Worker when it
+// connects, and those assignments never change for the lifetime of the
+// connection; consequently the decoder, batcher, and subscription state
+// below are each touched by a single goroutine and need no locks.
+type Client struct {
+	id     uint64 // engine-unique connection id
+	name   string // application client identifier from CONNECT
+	framed Framed
+	io     *ioThread
+	worker *worker
+	engine *Engine
+
+	// decoder and batcher are owned by the IoThread.
+	decoder protocol.StreamDecoder
+	batcher *batch.Batcher
+
+	// subs is owned by the Worker: topics this client subscribes to.
+	subs map[string]struct{}
+
+	closed atomic.Bool
+}
+
+// ID returns the engine-unique connection identifier.
+func (c *Client) ID() uint64 { return c.id }
+
+// Name returns the application-level client identifier (from CONNECT).
+func (c *Client) Name() string { return c.name }
+
+// RemoteAddr returns the peer address.
+func (c *Client) RemoteAddr() string { return c.framed.RemoteAddr() }
+
+// Send encodes m and queues it for delivery to this client via its
+// IoThread. Safe to call from any goroutine.
+func (c *Client) Send(m *protocol.Message) {
+	if c.closed.Load() {
+		return
+	}
+	c.SendFrame(protocol.Encode(m))
+}
+
+// SendFrame queues an already-encoded frame for delivery. The frame may be
+// shared between clients and must not be mutated.
+func (c *Client) SendFrame(frame []byte) {
+	if c.closed.Load() {
+		return
+	}
+	c.io.in.Push(ioEvent{kind: evWrite, c: c, data: frame})
+}
+
+// CloseAsync requests an asynchronous teardown of the connection.
+func (c *Client) CloseAsync() {
+	c.io.in.Push(ioEvent{kind: evClose, c: c})
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"migratorydata/internal/batch"
+	"migratorydata/internal/cache"
+	"migratorydata/internal/metrics"
+	"migratorydata/internal/protocol"
+	"migratorydata/internal/websocket"
+)
+
+// ErrEngineClosed is returned by Serve/Attach after Close.
+var ErrEngineClosed = errors.New("core: engine closed")
+
+// PublishFunc handles a publication received from a client. The single-node
+// engine uses the built-in local sequencer; the cluster layer installs its
+// own implementation (coordinator lookup, replication, ack on quorum —
+// paper §5.2.2). from is nil for server-originated publications.
+type PublishFunc func(from *Client, m *protocol.Message)
+
+// Config parametrizes an Engine. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// ServerID names this server in CONNACKs and cluster traffic.
+	ServerID string
+	// IoThreads is the number of I/O-layer threads. Default: GOMAXPROCS
+	// (the paper's default is the number of available CPUs).
+	IoThreads int
+	// Workers is the number of logic-layer threads. Default: GOMAXPROCS.
+	Workers int
+	// TopicGroups shards the cache and coordinator space. Default: 100.
+	TopicGroups int
+	// CacheCapacity is the per-topic history depth. Default: 1024.
+	CacheCapacity int
+	// BatchMaxBytes and BatchMaxDelay configure per-client output batching
+	// (§4). BatchMaxDelay == 0 disables batching (every frame is written
+	// immediately), matching the paper's evaluation configuration.
+	BatchMaxBytes int
+	BatchMaxDelay time.Duration
+	// ConflationInterval enables per-topic conflation when > 0 (§4).
+	ConflationInterval time.Duration
+	// TickInterval drives batching/conflation timers. Default: half the
+	// smallest enabled delay, clamped to [1ms, 50ms].
+	TickInterval time.Duration
+	// Publish overrides the publication path (installed by the cluster
+	// layer). Default: local sequencer.
+	Publish PublishFunc
+	// Pause optionally injects stop-the-world pauses into the Worker loop
+	// (GC ablation experiment).
+	Pause *metrics.PauseInjector
+	// Logger receives debug events. Default: discard.
+	Logger *slog.Logger
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.ServerID == "" {
+		cfg.ServerID = "server-1"
+	}
+	if cfg.IoThreads <= 0 {
+		cfg.IoThreads = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TopicGroups <= 0 {
+		cfg.TopicGroups = cache.DefaultTopicGroups
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = cache.DefaultPerTopicCapacity
+	}
+	if cfg.TickInterval <= 0 {
+		d := time.Duration(0)
+		if cfg.BatchMaxDelay > 0 {
+			d = cfg.BatchMaxDelay
+		}
+		if cfg.ConflationInterval > 0 && (d == 0 || cfg.ConflationInterval < d) {
+			d = cfg.ConflationInterval
+		}
+		cfg.TickInterval = d / 2
+		if cfg.TickInterval < time.Millisecond {
+			cfg.TickInterval = time.Millisecond
+		}
+		if cfg.TickInterval > 50*time.Millisecond {
+			cfg.TickInterval = 50 * time.Millisecond
+		}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return cfg
+}
+
+// Engine is the single-node MigratoryData server core.
+type Engine struct {
+	cfg       Config
+	ioThreads []*ioThread
+	workers   []*worker
+	cache     *cache.Cache
+	publishFn PublishFunc
+	logger    *slog.Logger
+
+	mu        sync.Mutex
+	clients   map[uint64]*Client
+	listeners []net.Listener
+	nextID    atomic.Uint64
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+	tickStop  chan struct{}
+
+	stats   engineStats
+	traffic metrics.TrafficMeter
+	cpu     metrics.CPUSampler
+}
+
+// engineStats aggregates engine counters.
+type engineStats struct {
+	published     metrics.Counter
+	delivered     metrics.Counter
+	retransmitted metrics.Counter
+	connects      metrics.Counter
+}
+
+// New constructs and starts an Engine: IoThread and Worker loops begin
+// running immediately; connections arrive via Serve or Attach.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		cache:    cache.New(cfg.TopicGroups, cfg.CacheCapacity),
+		clients:  make(map[uint64]*Client),
+		logger:   cfg.Logger,
+		tickStop: make(chan struct{}),
+	}
+	if cfg.Publish != nil {
+		e.publishFn = cfg.Publish
+	} else {
+		seq := newLocalSequencer(e)
+		e.publishFn = seq.publish
+	}
+	for i := 0; i < cfg.IoThreads; i++ {
+		t := newIoThread(i, e)
+		e.ioThreads = append(e.ioThreads, t)
+		e.wg.Add(1)
+		go t.run()
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(i, e)
+		e.workers = append(e.workers, w)
+		e.wg.Add(1)
+		go w.run()
+	}
+	if cfg.BatchMaxDelay > 0 || cfg.ConflationInterval > 0 {
+		e.wg.Add(1)
+		go e.tickLoop()
+	}
+	e.traffic.Start()
+	e.cpu.Start()
+	return e
+}
+
+// SetPublishFunc replaces the publication path. Must be called before any
+// client publishes (typically right after New, by the cluster layer).
+func (e *Engine) SetPublishFunc(fn PublishFunc) { e.publishFn = fn }
+
+// tickLoop periodically prompts IoThreads to flush due batches and Workers
+// to flush due conflation aggregates.
+func (e *Engine) tickLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.tickStop:
+			return
+		case <-ticker.C:
+			if e.cfg.BatchMaxDelay > 0 {
+				for _, t := range e.ioThreads {
+					t.in.Push(ioEvent{kind: evTick})
+				}
+			}
+			if e.cfg.ConflationInterval > 0 {
+				for _, w := range e.workers {
+					w.in.Push(workerEvent{kind: weTick})
+				}
+			}
+		}
+	}
+}
+
+// Serve accepts connections on l until the listener or engine is closed.
+// mode selects the transport: "ws" performs a WebSocket handshake on each
+// connection; "raw" expects protocol frames directly.
+func (e *Engine) Serve(l net.Listener, mode string) error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	e.mu.Lock()
+	e.listeners = append(e.listeners, l)
+	e.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if e.closed.Load() {
+				return ErrEngineClosed
+			}
+			return err
+		}
+		go e.handleConn(conn, mode)
+	}
+}
+
+// handleConn upgrades and attaches one inbound connection.
+func (e *Engine) handleConn(conn net.Conn, mode string) {
+	var framed Framed
+	switch mode {
+	case "ws":
+		ws, err := websocket.ServerHandshake(conn)
+		if err != nil {
+			e.logger.Debug("websocket handshake failed", "err", err)
+			conn.Close()
+			return
+		}
+		framed = NewWebSocketFramed(ws)
+	default:
+		framed = NewRawFramed(conn)
+	}
+	if _, err := e.Attach(framed); err != nil {
+		framed.Close()
+	}
+}
+
+// Attach registers an established connection with the engine, pinning it to
+// an IoThread and a Worker (by hash of its remote address, §4) and starting
+// its reader. It is the entry point used both by Serve and by in-process
+// harnesses.
+func (e *Engine) Attach(framed Framed) (*Client, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	id := e.nextID.Add(1)
+	c := &Client{
+		id:     id,
+		framed: framed,
+		engine: e,
+		subs:   make(map[string]struct{}),
+	}
+	c.io = e.ioThreads[pinIndex(framed.RemoteAddr(), id, len(e.ioThreads))]
+	c.worker = e.workers[pinIndex(framed.RemoteAddr(), id, len(e.workers))]
+	c.batcher = batch.NewBatcher(e.cfg.BatchMaxBytes, e.cfg.BatchMaxDelay)
+
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	e.clients[id] = c
+	e.mu.Unlock()
+	e.stats.connects.Inc()
+
+	e.wg.Add(1)
+	go e.readLoop(c)
+	return c, nil
+}
+
+// pinIndex maps a client onto one of n threads. The paper hashes the client
+// IP address; connections from one host share an address, so the connection
+// id is mixed in to spread same-host load (benchmarks connect thousands of
+// clients from one machine — as did the paper's Benchsub).
+func pinIndex(addr string, id uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(1469598103934665603) // FNV offset basis
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint64(addr[i])) * 1099511628211
+	}
+	h ^= id * 0x9E3779B97F4A7C15
+	return int(h % uint64(n))
+}
+
+// readLoop pumps received bytes from the connection into the client's
+// IoThread queue.
+func (e *Engine) readLoop(c *Client) {
+	defer e.wg.Done()
+	for {
+		chunk, err := c.framed.ReadChunk()
+		if len(chunk) > 0 {
+			c.io.in.Push(ioEvent{kind: evBytes, c: c, data: chunk})
+		}
+		if err != nil {
+			c.io.in.Push(ioEvent{kind: evClose, c: c})
+			return
+		}
+	}
+}
+
+// publish routes a client publication into the configured publish path.
+func (e *Engine) publish(from *Client, m *protocol.Message) {
+	e.publishFn(from, m)
+}
+
+// Deliver fans out a sequenced entry for topic to subscribers on every
+// worker. Callers must invoke Deliver in (epoch, seq) order per topic — the
+// sequencer and the cluster replication path both do so while holding the
+// topic-group lock.
+func (e *Engine) Deliver(topic string, entry cache.Entry) {
+	frame := protocol.Encode(notifyMessage(topic, entry, 0))
+	for _, w := range e.workers {
+		w.in.Push(workerEvent{kind: weDeliver, topic: topic, entry: entry, frame: frame})
+	}
+}
+
+// Cache exposes the history cache (the cluster layer appends replicated
+// messages to it, §5.2.2).
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// ServerID reports the configured server identifier.
+func (e *Engine) ServerID() string { return e.cfg.ServerID }
+
+// unregister removes a torn-down client from the registry.
+func (e *Engine) unregister(c *Client) {
+	e.mu.Lock()
+	delete(e.clients, c.id)
+	e.mu.Unlock()
+}
+
+// NumClients reports the currently-attached connection count.
+func (e *Engine) NumClients() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.clients)
+}
+
+// CloseAllClients preventively disconnects every client, as a partitioned
+// cluster member does to push its clients to the surviving servers
+// (§5.2.2).
+func (e *Engine) CloseAllClients() {
+	e.mu.Lock()
+	clients := make([]*Client, 0, len(e.clients))
+	for _, c := range e.clients {
+		clients = append(clients, c)
+	}
+	e.mu.Unlock()
+	for _, c := range clients {
+		c.CloseAsync()
+	}
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Connections   int
+	Connects      int64
+	Published     int64
+	Delivered     int64
+	Retransmitted int64
+	BytesOut      int64
+	Gbps          float64
+	CPUUtilized   float64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Connections:   e.NumClients(),
+		Connects:      e.stats.connects.Value(),
+		Published:     e.stats.published.Value(),
+		Delivered:     e.stats.delivered.Value(),
+		Retransmitted: e.stats.retransmitted.Value(),
+		BytesOut:      e.traffic.Bytes(),
+		Gbps:          e.traffic.Gbps(),
+		CPUUtilized:   e.cpu.Utilization(),
+	}
+}
+
+// ResetMeters restarts the traffic and CPU measurement windows (harnesses
+// call this after warm-up, as the paper records only post-warm-up data).
+func (e *Engine) ResetMeters() {
+	e.traffic.Start()
+	e.cpu.Start()
+}
+
+// Close shuts the engine down: listeners stop accepting, every client is
+// disconnected, and all loops drain and exit.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.mu.Lock()
+	listeners := e.listeners
+	e.listeners = nil
+	clients := make([]*Client, 0, len(e.clients))
+	for _, c := range e.clients {
+		clients = append(clients, c)
+	}
+	e.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range clients {
+		// Close transports directly: reader goroutines unblock with an
+		// error and funnel through the normal teardown path.
+		_ = c.framed.Close()
+	}
+	close(e.tickStop)
+
+	// Give teardown events a moment to propagate, then close the queues.
+	// Queue closure is safe even with stragglers: Push on a closed queue
+	// is a no-op.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.NumClients() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for _, t := range e.ioThreads {
+		t.in.Close()
+	}
+	for _, w := range e.workers {
+		w.in.Close()
+	}
+	e.wg.Wait()
+	return nil
+}

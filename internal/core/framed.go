@@ -1,0 +1,109 @@
+// Package core implements the MigratoryData single-node engine (paper §4,
+// Figure 2): a first layer of IoThreads performing client I/O with clients
+// pinned to a fixed IoThread for their whole connection lifetime, and a
+// second layer of Workers providing the MigratoryData logic (matching
+// publishers with subscribers, caching, batching, conflation), with clients
+// likewise pinned to a fixed Worker. The layers communicate through
+// thread-safe queues.
+//
+// The paper's Java implementation multiplexes clients over a configurable
+// number of IoThreads using asynchronous I/O. In Go the runtime's netpoller
+// plays that role: a thin reader goroutine per connection blocks on the
+// socket and forwards received bytes to the owning IoThread's queue, so all
+// protocol decoding, routing, and writing still happens on the fixed
+// IoThread — preserving the paper's lock-free-by-pinning property.
+package core
+
+import (
+	"net"
+	"time"
+
+	"migratorydata/internal/websocket"
+)
+
+// defaultWriteTimeout bounds one transport write so a stalled client cannot
+// block its IoThread indefinitely; on expiry the connection is torn down
+// (the standard broker response to a client that stops draining).
+const defaultWriteTimeout = 30 * time.Second
+
+// Framed abstracts one client connection's byte transport so the engine is
+// identical over raw framed TCP and WebSocket.
+type Framed interface {
+	// ReadChunk returns the next received bytes; they may contain partial
+	// protocol frames (reassembly is the IoThread's job).
+	ReadChunk() ([]byte, error)
+	// WriteBatch writes one or more already-encoded protocol frames in a
+	// single transport operation.
+	WriteBatch(batch []byte) error
+	// Close tears the connection down.
+	Close() error
+	// RemoteAddr names the peer, used for IoThread/Worker pinning.
+	RemoteAddr() string
+}
+
+// rawFramed carries protocol frames directly on a net.Conn.
+type rawFramed struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// NewRawFramed wraps a net.Conn carrying raw protocol frames.
+func NewRawFramed(conn net.Conn) Framed {
+	return &rawFramed{conn: conn, buf: make([]byte, 8192)}
+}
+
+// ReadChunk implements Framed. The returned slice is a copy: it outlives
+// this call on the IoThread queue.
+func (r *rawFramed) ReadChunk() ([]byte, error) {
+	n, err := r.conn.Read(r.buf)
+	if n > 0 {
+		out := make([]byte, n)
+		copy(out, r.buf[:n])
+		return out, err
+	}
+	return nil, err
+}
+
+// WriteBatch implements Framed.
+func (r *rawFramed) WriteBatch(batch []byte) error {
+	_ = r.conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	_, err := r.conn.Write(batch)
+	return err
+}
+
+// Close implements Framed.
+func (r *rawFramed) Close() error { return r.conn.Close() }
+
+// RemoteAddr implements Framed.
+func (r *rawFramed) RemoteAddr() string { return r.conn.RemoteAddr().String() }
+
+// wsFramed carries protocol frames inside WebSocket binary messages.
+type wsFramed struct {
+	ws *websocket.Conn
+}
+
+// NewWebSocketFramed wraps an established (post-handshake) WebSocket
+// connection.
+func NewWebSocketFramed(ws *websocket.Conn) Framed {
+	return &wsFramed{ws: ws}
+}
+
+// ReadChunk implements Framed: each WebSocket message's payload is a chunk
+// of protocol bytes.
+func (w *wsFramed) ReadChunk() ([]byte, error) {
+	_, payload, err := w.ws.ReadMessage()
+	return payload, err
+}
+
+// WriteBatch implements Framed: the whole batch rides in one binary message
+// (transport-level batching for free).
+func (w *wsFramed) WriteBatch(batch []byte) error {
+	_ = w.ws.NetConn().SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	return w.ws.WriteMessage(websocket.OpBinary, batch)
+}
+
+// Close implements Framed.
+func (w *wsFramed) Close() error { return w.ws.Close() }
+
+// RemoteAddr implements Framed.
+func (w *wsFramed) RemoteAddr() string { return w.ws.NetConn().RemoteAddr().String() }

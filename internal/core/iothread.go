@@ -1,0 +1,167 @@
+package core
+
+import (
+	"time"
+
+	"migratorydata/internal/queue"
+)
+
+// ioEventKind discriminates IoThread queue events.
+type ioEventKind uint8
+
+const (
+	// evBytes carries bytes received from a client's connection.
+	evBytes ioEventKind = iota + 1
+	// evWrite carries an encoded frame (or batch) to send to a client.
+	evWrite
+	// evClose requests connection teardown.
+	evClose
+	// evTick drives time-based batch flushing.
+	evTick
+)
+
+// ioEvent is one unit of IoThread work.
+type ioEvent struct {
+	kind ioEventKind
+	c    *Client
+	data []byte
+}
+
+// ioThread is one I/O-layer thread (paper §4): it owns the read-side
+// decoding and the write side of every client pinned to it. Because a
+// client is touched by exactly one ioThread, its decoder and batcher need
+// no locks — the property the paper credits for the I/O layer's vertical
+// scalability.
+type ioThread struct {
+	index  int
+	in     *queue.MPSC[ioEvent]
+	engine *Engine
+
+	// pendingFlush tracks clients with batched-but-unflushed output, so
+	// ticks only visit clients that need it.
+	pendingFlush map[*Client]struct{}
+}
+
+func newIoThread(index int, e *Engine) *ioThread {
+	return &ioThread{
+		index:        index,
+		in:           queue.NewMPSC[ioEvent](),
+		engine:       e,
+		pendingFlush: make(map[*Client]struct{}),
+	}
+}
+
+// run is the IoThread loop. It exits when the queue is closed and drained.
+func (t *ioThread) run() {
+	defer t.engine.wg.Done()
+	for {
+		batch, ok := t.in.PopWait()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		for i := range batch {
+			t.handle(&batch[i])
+		}
+		t.engine.cpu.AddBusy(time.Since(start))
+		t.in.Recycle(batch)
+	}
+}
+
+func (t *ioThread) handle(ev *ioEvent) {
+	switch ev.kind {
+	case evBytes:
+		t.handleBytes(ev.c, ev.data)
+	case evWrite:
+		t.handleWrite(ev.c, ev.data)
+	case evClose:
+		t.teardown(ev.c)
+	case evTick:
+		t.flushDue()
+	}
+}
+
+// handleBytes feeds received bytes to the client's decoder and dispatches
+// every complete message to the client's Worker ("Whenever an IoThread
+// receives enough bytes from a client to decode them as a MigratoryData
+// message, it adds that message to the queue of the Worker assigned to that
+// client", §4).
+func (t *ioThread) handleBytes(c *Client, data []byte) {
+	if c.closed.Load() {
+		return
+	}
+	c.decoder.Feed(data)
+	for {
+		m, err := c.decoder.Next()
+		if err != nil {
+			t.engine.logger.Debug("protocol error, closing client",
+				"client", c.RemoteAddr(), "err", err)
+			t.teardown(c)
+			return
+		}
+		if m == nil {
+			return
+		}
+		c.worker.in.Push(workerEvent{kind: weClientMsg, c: c, msg: m})
+	}
+}
+
+// handleWrite batches the frame for the client and writes when the batcher
+// says so.
+func (t *ioThread) handleWrite(c *Client, frame []byte) {
+	if c.closed.Load() {
+		return
+	}
+	out := c.batcher.Add(time.Now(), frame)
+	if out == nil {
+		t.pendingFlush[c] = struct{}{}
+		return
+	}
+	t.write(c, out)
+}
+
+// flushDue flushes every client whose batch delay has expired.
+func (t *ioThread) flushDue() {
+	if len(t.pendingFlush) == 0 {
+		return
+	}
+	now := time.Now()
+	for c := range t.pendingFlush {
+		if c.closed.Load() {
+			delete(t.pendingFlush, c)
+			continue
+		}
+		out := c.batcher.Due(now)
+		if out == nil {
+			if c.batcher.Pending() == 0 {
+				delete(t.pendingFlush, c)
+			}
+			continue
+		}
+		delete(t.pendingFlush, c)
+		t.write(c, out)
+	}
+}
+
+// write sends a batch to the client, tearing the connection down on error.
+func (t *ioThread) write(c *Client, out []byte) {
+	if err := c.framed.WriteBatch(out); err != nil {
+		t.engine.logger.Debug("write error, closing client",
+			"client", c.RemoteAddr(), "err", err)
+		t.teardown(c)
+		return
+	}
+	t.engine.traffic.AddBytes(int64(len(out)))
+}
+
+// teardown closes the connection and detaches the client from its Worker.
+// Idempotent: the first caller wins.
+func (t *ioThread) teardown(c *Client) {
+	if c.closed.Swap(true) {
+		return
+	}
+	delete(t.pendingFlush, c)
+	_ = c.framed.Close()
+	c.worker.in.Push(workerEvent{kind: weDetach, c: c})
+	t.engine.unregister(c)
+}

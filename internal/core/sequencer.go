@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+
+	"migratorydata/internal/cache"
+	"migratorydata/internal/protocol"
+)
+
+// localSequencer is the single-node publication path: it assigns sequence
+// numbers per topic, appends to the history cache, fans out to subscribers,
+// and acknowledges the publisher. Sequencing and fan-out happen under a
+// per-topic-group mutex so that delivery order always matches sequence
+// order for a topic, while publications to topics in different groups
+// proceed in parallel — the same sharding the cache uses (§4).
+//
+// In a cluster this path is replaced by the coordinator-based protocol of
+// §5.2.2 (see internal/cluster).
+type localSequencer struct {
+	engine *Engine
+	locks  []sync.Mutex // one per topic group
+}
+
+// localEpoch is the fixed epoch of a non-replicated single server: there is
+// no coordinator change without a cluster.
+const localEpoch = 1
+
+func newLocalSequencer(e *Engine) *localSequencer {
+	return &localSequencer{
+		engine: e,
+		locks:  make([]sync.Mutex, e.cfg.TopicGroups),
+	}
+}
+
+// publish implements PublishFunc.
+func (s *localSequencer) publish(from *Client, m *protocol.Message) {
+	if m.Topic == "" {
+		if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
+			from.Send(&protocol.Message{
+				Kind:   protocol.KindPubAck,
+				ID:     m.ID,
+				Status: protocol.StatusFailed,
+			})
+		}
+		return
+	}
+	g := s.engine.cache.GroupOf(m.Topic)
+	s.locks[g].Lock()
+	epoch, seq, ok := s.engine.cache.Position(m.Topic)
+	if !ok {
+		epoch = localEpoch
+	}
+	entry := cache.Entry{
+		ID:        m.ID,
+		Epoch:     epoch,
+		Seq:       seq + 1,
+		Timestamp: m.Timestamp,
+		Payload:   m.Payload,
+	}
+	s.engine.cache.Append(m.Topic, entry)
+	s.engine.Deliver(m.Topic, entry)
+	s.locks[g].Unlock()
+
+	if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
+		from.Send(&protocol.Message{
+			Kind:   protocol.KindPubAck,
+			ID:     m.ID,
+			Epoch:  entry.Epoch,
+			Seq:    entry.Seq,
+			Status: protocol.StatusOK,
+		})
+	}
+}

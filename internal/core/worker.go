@@ -1,0 +1,227 @@
+package core
+
+import (
+	"time"
+
+	"migratorydata/internal/batch"
+	"migratorydata/internal/cache"
+	"migratorydata/internal/protocol"
+	"migratorydata/internal/queue"
+)
+
+// workerEventKind discriminates Worker queue events.
+type workerEventKind uint8
+
+const (
+	// weClientMsg carries a decoded message from a client.
+	weClientMsg workerEventKind = iota + 1
+	// weDeliver carries a sequenced publication to fan out to this
+	// worker's subscribers.
+	weDeliver
+	// weDetach removes a disconnected client's state.
+	weDetach
+	// weTick drives conflation flushing.
+	weTick
+)
+
+// workerEvent is one unit of Worker work.
+type workerEvent struct {
+	kind  workerEventKind
+	c     *Client
+	msg   *protocol.Message
+	topic string
+	entry cache.Entry
+	frame []byte // pre-encoded NOTIFY frame shared across workers
+}
+
+// worker is one logic-layer thread (paper §4): it owns subscription
+// matching, per-client session state, and conflation for the clients pinned
+// to it. Each worker sees only its own clients, so the per-topic subscriber
+// sets below are single-goroutine state.
+type worker struct {
+	index  int
+	in     *queue.MPSC[workerEvent]
+	engine *Engine
+
+	// subsByTopic maps a topic to this worker's subscribers.
+	subsByTopic map[string]map[*Client]struct{}
+
+	// conflator aggregates per-topic deliveries when conflation is on.
+	conflator *batch.Conflator[cache.Entry]
+}
+
+func newWorker(index int, e *Engine) *worker {
+	return &worker{
+		index:       index,
+		in:          queue.NewMPSC[workerEvent](),
+		engine:      e,
+		subsByTopic: make(map[string]map[*Client]struct{}),
+		conflator:   batch.NewConflator[cache.Entry](e.cfg.ConflationInterval, nil),
+	}
+}
+
+// run is the Worker loop.
+func (w *worker) run() {
+	defer w.engine.wg.Done()
+	for {
+		events, ok := w.in.PopWait()
+		if !ok {
+			return
+		}
+		w.engine.cfg.Pause.Gate()
+		start := time.Now()
+		for i := range events {
+			w.handle(&events[i])
+		}
+		w.engine.cpu.AddBusy(time.Since(start))
+		w.in.Recycle(events)
+	}
+}
+
+func (w *worker) handle(ev *workerEvent) {
+	switch ev.kind {
+	case weClientMsg:
+		w.handleClientMsg(ev.c, ev.msg)
+	case weDeliver:
+		w.deliver(ev.topic, ev.entry, ev.frame)
+	case weDetach:
+		w.detach(ev.c)
+	case weTick:
+		w.flushConflated()
+	}
+}
+
+func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
+	if c.closed.Load() {
+		return
+	}
+	switch m.Kind {
+	case protocol.KindConnect:
+		c.name = m.ClientID
+		c.Send(&protocol.Message{
+			Kind:     protocol.KindConnAck,
+			ClientID: w.engine.cfg.ServerID,
+		})
+	case protocol.KindSubscribe:
+		w.subscribe(c, m)
+	case protocol.KindUnsubscribe:
+		w.unsubscribe(c, m)
+	case protocol.KindPublish:
+		w.engine.stats.published.Inc()
+		w.engine.publish(c, m)
+	case protocol.KindPing:
+		c.Send(&protocol.Message{Kind: protocol.KindPong, Timestamp: m.Timestamp})
+	case protocol.KindDisconnect:
+		c.CloseAsync()
+	default:
+		// Cluster-internal kinds on a client connection, or kinds a
+		// server never receives (NOTIFY, acks): protocol violation.
+		w.engine.logger.Debug("unexpected message kind from client",
+			"kind", m.Kind, "client", c.RemoteAddr())
+		c.CloseAsync()
+	}
+}
+
+// subscribe registers the client for each topic and replays missed messages
+// for topics carrying a resume position (paper §3: "a subscriber can detect
+// and ask for missed messages upon a reconnection using these sequence
+// numbers").
+func (w *worker) subscribe(c *Client, m *protocol.Message) {
+	var replay []byte
+	for _, tp := range m.Topics {
+		if tp.Topic == "" {
+			continue
+		}
+		set := w.subsByTopic[tp.Topic]
+		if set == nil {
+			set = make(map[*Client]struct{})
+			w.subsByTopic[tp.Topic] = set
+		}
+		set[c] = struct{}{}
+		c.subs[tp.Topic] = struct{}{}
+
+		if tp.Epoch != 0 || tp.Seq != 0 {
+			for _, e := range w.engine.cache.Since(tp.Topic, tp.Epoch, tp.Seq, 0) {
+				replay = protocol.AppendEncode(replay, notifyMessage(tp.Topic, e, protocol.FlagRetransmission))
+				w.engine.stats.retransmitted.Inc()
+			}
+		}
+	}
+	c.Send(&protocol.Message{Kind: protocol.KindSubAck, Status: protocol.StatusOK})
+	if len(replay) > 0 {
+		c.SendFrame(replay)
+	}
+}
+
+func (w *worker) unsubscribe(c *Client, m *protocol.Message) {
+	for _, tp := range m.Topics {
+		if set := w.subsByTopic[tp.Topic]; set != nil {
+			delete(set, c)
+			if len(set) == 0 {
+				delete(w.subsByTopic, tp.Topic)
+			}
+		}
+		delete(c.subs, tp.Topic)
+	}
+}
+
+// deliver fans a sequenced publication out to this worker's subscribers.
+func (w *worker) deliver(topic string, e cache.Entry, frame []byte) {
+	if w.engine.cfg.ConflationInterval > 0 {
+		if _, emit := w.conflator.Offer(time.Now(), topic, e); !emit {
+			return
+		}
+	}
+	w.fanOut(topic, frame)
+}
+
+// fanOut sends an encoded frame to every subscriber of topic on this worker.
+func (w *worker) fanOut(topic string, frame []byte) {
+	set := w.subsByTopic[topic]
+	if len(set) == 0 {
+		return
+	}
+	for c := range set {
+		c.SendFrame(frame)
+		w.engine.stats.delivered.Inc()
+	}
+}
+
+// flushConflated emits due conflation aggregates.
+func (w *worker) flushConflated() {
+	for _, agg := range w.conflator.Drain(time.Now()) {
+		e := agg.Value
+		flags := e.Flags
+		if agg.Count > 1 {
+			flags |= protocol.FlagConflated
+		}
+		w.fanOut(agg.Topic, protocol.Encode(notifyMessage(agg.Topic, e, flags)))
+	}
+}
+
+// detach removes all of the client's subscriptions.
+func (w *worker) detach(c *Client) {
+	for topic := range c.subs {
+		if set := w.subsByTopic[topic]; set != nil {
+			delete(set, c)
+			if len(set) == 0 {
+				delete(w.subsByTopic, topic)
+			}
+		}
+	}
+	c.subs = make(map[string]struct{})
+}
+
+// notifyMessage builds the NOTIFY for a cached entry.
+func notifyMessage(topic string, e cache.Entry, extraFlags uint8) *protocol.Message {
+	return &protocol.Message{
+		Kind:      protocol.KindNotify,
+		Topic:     topic,
+		ID:        e.ID,
+		Payload:   e.Payload,
+		Epoch:     e.Epoch,
+		Seq:       e.Seq,
+		Flags:     e.Flags | extraFlags,
+		Timestamp: e.Timestamp,
+	}
+}

@@ -1,0 +1,73 @@
+// Package dedup implements the client-side duplicate-reception filter from
+// the paper (§3): at-least-once delivery means a republished message may
+// arrive twice, and "a small buffer containing the identifiers of
+// recently-received messages is sufficient" for applications that care.
+// Filter keeps a fixed-capacity ring of recent message identifiers with an
+// accompanying set for O(1) lookup.
+package dedup
+
+import "sync"
+
+// Filter remembers the last capacity message IDs seen. Safe for concurrent
+// use. The zero value is not usable; construct with NewFilter.
+type Filter struct {
+	mu   sync.Mutex
+	cap  int
+	ring []string
+	next int
+	full bool
+	seen map[string]int // id -> count of live occurrences in ring
+}
+
+// NewFilter returns a filter remembering the most recent capacity IDs.
+// capacity < 1 is treated as 1.
+func NewFilter(capacity int) *Filter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Filter{
+		cap:  capacity,
+		ring: make([]string, capacity),
+		seen: make(map[string]int, capacity),
+	}
+}
+
+// Observe records id and reports whether it was already present (i.e. the
+// message is a duplicate of a recently-seen one).
+func (f *Filter) Observe(id string) (duplicate bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	duplicate = f.seen[id] > 0
+	// Evict the slot we are about to overwrite.
+	if f.full {
+		old := f.ring[f.next]
+		if n := f.seen[old]; n <= 1 {
+			delete(f.seen, old)
+		} else {
+			f.seen[old] = n - 1
+		}
+	}
+	f.ring[f.next] = id
+	f.seen[id]++
+	f.next++
+	if f.next == f.cap {
+		f.next = 0
+		f.full = true
+	}
+	return duplicate
+}
+
+// Contains reports whether id is in the recent window without recording it.
+func (f *Filter) Contains(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen[id] > 0
+}
+
+// Len reports how many identifiers are currently remembered (≤ capacity;
+// duplicates in the window count once).
+func (f *Filter) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.seen)
+}

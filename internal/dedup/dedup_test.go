@@ -1,0 +1,133 @@
+package dedup
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstObservationNotDuplicate(t *testing.T) {
+	f := NewFilter(8)
+	if f.Observe("a") {
+		t.Fatal("first observation reported as duplicate")
+	}
+	if !f.Observe("a") {
+		t.Fatal("second observation not reported as duplicate")
+	}
+}
+
+func TestEvictionAfterCapacity(t *testing.T) {
+	f := NewFilter(3)
+	f.Observe("a")
+	f.Observe("b")
+	f.Observe("c")
+	f.Observe("d") // evicts a
+	if f.Contains("a") {
+		t.Fatal("a should have been evicted")
+	}
+	for _, id := range []string{"b", "c", "d"} {
+		if !f.Contains(id) {
+			t.Fatalf("%s should still be remembered", id)
+		}
+	}
+}
+
+func TestDuplicateInWindowDoesNotEvictEarly(t *testing.T) {
+	f := NewFilter(3)
+	f.Observe("a")
+	f.Observe("a") // window now [a, a, _]
+	f.Observe("b") // [a, a, b]
+	f.Observe("c") // evicts one 'a' occurrence -> [c, a, b]? ring: slot0 overwritten
+	if !f.Contains("a") {
+		t.Fatal("a still has one live occurrence and must be remembered")
+	}
+	f.Observe("d") // evicts the second 'a'
+	if f.Contains("a") {
+		t.Fatal("a fully evicted, must be forgotten")
+	}
+}
+
+func TestCapacityOneMinimum(t *testing.T) {
+	f := NewFilter(0)
+	f.Observe("x")
+	if !f.Contains("x") {
+		t.Fatal("capacity clamped to 1 must remember the last id")
+	}
+	f.Observe("y")
+	if f.Contains("x") {
+		t.Fatal("capacity-1 filter must forget previous id")
+	}
+}
+
+func TestLen(t *testing.T) {
+	f := NewFilter(10)
+	f.Observe("a")
+	f.Observe("b")
+	f.Observe("a")
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+}
+
+func TestPropertyWindowSemantics(t *testing.T) {
+	// Property: after observing a sequence, Contains(id) iff id occurs in
+	// the last `cap` observations.
+	err := quick.Check(func(seq []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		f := NewFilter(capacity)
+		ids := make([]string, len(seq))
+		for i, v := range seq {
+			ids[i] = fmt.Sprintf("id-%d", v%32)
+			f.Observe(ids[i])
+		}
+		start := 0
+		if len(ids) > capacity {
+			start = len(ids) - capacity
+		}
+		window := map[string]bool{}
+		for _, id := range ids[start:] {
+			window[id] = true
+		}
+		for v := 0; v < 32; v++ {
+			id := fmt.Sprintf("id-%d", v)
+			if f.Contains(id) != window[id] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	f := NewFilter(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Observe(fmt.Sprintf("%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Len() > 128 {
+		t.Fatalf("Len = %d exceeds capacity", f.Len())
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	f := NewFilter(1024)
+	ids := make([]string, 2048)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("topic/%d:%d", i%100, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(ids[i%len(ids)])
+	}
+}

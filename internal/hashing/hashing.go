@@ -1,0 +1,68 @@
+// Package hashing provides the deterministic hash functions MigratoryData
+// uses to shard state without coordination: topics are hashed into topic
+// groups (cache sharding and coordinator assignment, paper §4 and §5.2.1),
+// and clients are hashed onto IoThreads and Workers by their address
+// (paper §4).
+package hashing
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// TopicGroup maps a topic name onto one of n topic groups. The paper notes a
+// typical installation uses 100 groups; both the cache (per-group locks) and
+// the cluster layer (per-group coordinators) rely on this mapping being
+// stable across servers, so it must be a pure function of the topic name.
+func TopicGroup(topic string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(topic))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ClientShard maps a client identifier (typically its remote address) onto
+// one of n shards. Used to pin clients to IoThreads and Workers for their
+// whole connection lifetime, which is what removes lock contention from the
+// I/O layer (paper §4).
+func ClientShard(clientID string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(clientID))
+	return int(h.Sum64() % uint64(n))
+}
+
+// WeightedChoice selects an index in [0, len(weights)) with probability
+// proportional to weights[i]. The paper's client-side load balancing allows
+// the hard-coded server list to carry per-server weights for heterogeneous
+// deployments (§5.1, footnote 1). Zero and negative weights are treated as
+// zero; if all weights are zero the choice is uniform.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	if len(weights) == 0 {
+		return -1
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,156 @@
+package hashing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopicGroupStable(t *testing.T) {
+	for _, topic := range []string{"", "scores", "odds/uefa", "stats.game.42"} {
+		a := TopicGroup(topic, 100)
+		b := TopicGroup(topic, 100)
+		if a != b {
+			t.Errorf("TopicGroup(%q) not stable: %d != %d", topic, a, b)
+		}
+	}
+}
+
+func TestTopicGroupRange(t *testing.T) {
+	err := quick.Check(func(topic string, n int) bool {
+		if n < 0 {
+			n = -n
+		}
+		n = n%1000 + 1
+		g := TopicGroup(topic, n)
+		return g >= 0 && g < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopicGroupZeroGroups(t *testing.T) {
+	if g := TopicGroup("x", 0); g != 0 {
+		t.Errorf("TopicGroup with n=0 = %d, want 0", g)
+	}
+	if g := TopicGroup("x", -5); g != 0 {
+		t.Errorf("TopicGroup with n=-5 = %d, want 0", g)
+	}
+}
+
+func TestTopicGroupDistribution(t *testing.T) {
+	// With many topics the groups should all be populated reasonably evenly;
+	// a badly skewed hash would defeat the per-group cache locking.
+	const groups = 100
+	const topics = 100000
+	counts := make([]int, groups)
+	for i := 0; i < topics; i++ {
+		counts[TopicGroup(fmt.Sprintf("topic-%d", i), groups)]++
+	}
+	want := topics / groups
+	for g, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("group %d has %d topics, want within [%d, %d]", g, c, want/2, want*2)
+		}
+	}
+}
+
+func TestClientShardStableAndInRange(t *testing.T) {
+	err := quick.Check(func(id string) bool {
+		s := ClientShard(id, 16)
+		return s >= 0 && s < 16 && s == ClientShard(id, 16)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientShardZero(t *testing.T) {
+	if s := ClientShard("a", 0); s != 0 {
+		t.Errorf("ClientShard with n=0 = %d, want 0", s)
+	}
+}
+
+func TestClientShardDistribution(t *testing.T) {
+	const shards = 8
+	const clients = 80000
+	counts := make([]int, shards)
+	for i := 0; i < clients; i++ {
+		counts[ClientShard(fmt.Sprintf("10.0.%d.%d:%d", i/250%250, i%250, 30000+i%30000), shards)]++
+	}
+	want := clients / shards
+	for s, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Errorf("shard %d has %d clients, want within 30%% of %d", s, c, want)
+		}
+	}
+}
+
+func TestWeightedChoiceEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if i := WeightedChoice(rng, nil); i != -1 {
+		t.Errorf("WeightedChoice(nil) = %d, want -1", i)
+	}
+}
+
+func TestWeightedChoiceAllZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		idx := WeightedChoice(rng, []float64{0, 0, 0})
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c < 700 {
+			t.Errorf("uniform fallback: index %d chosen %d times, want ~1000", i, c)
+		}
+	}
+}
+
+func TestWeightedChoiceProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[WeightedChoice(rng, weights)]++
+	}
+	// Expect roughly 10% / 20% / 70%.
+	checks := []struct{ idx, lo, hi int }{
+		{0, n * 8 / 100, n * 12 / 100},
+		{1, n * 17 / 100, n * 23 / 100},
+		{2, n * 66 / 100, n * 74 / 100},
+	}
+	for _, c := range checks {
+		if counts[c.idx] < c.lo || counts[c.idx] > c.hi {
+			t.Errorf("index %d chosen %d times, want within [%d, %d]", c.idx, counts[c.idx], c.lo, c.hi)
+		}
+	}
+}
+
+func TestWeightedChoiceNegativeWeightsIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		idx := WeightedChoice(rng, []float64{-1, 0, 5})
+		if idx != 2 {
+			t.Fatalf("negative/zero weights must never be chosen, got index %d", idx)
+		}
+	}
+}
+
+func BenchmarkTopicGroup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TopicGroup("scores/uefa/champions-league/game-42", 100)
+	}
+}
+
+func BenchmarkClientShard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ClientShard("203.0.113.54:49152", 16)
+	}
+}

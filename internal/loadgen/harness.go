@@ -1,0 +1,254 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/metrics"
+	"migratorydata/internal/transport"
+)
+
+// Scenario describes one benchmark run in the shape of the paper's
+// evaluation (§6): S subscribers spread over T topics, each topic updated
+// once per PublishInterval with PayloadSize random bytes, measured for
+// Measure after a Warmup.
+type Scenario struct {
+	Subscribers     int
+	Topics          int
+	PayloadSize     int           // default 140 (the paper's C1M workload)
+	PublishInterval time.Duration // default 1s per topic
+	Warmup          time.Duration // default 2s
+	Measure         time.Duration // default 10s
+	// PipeBuffer sizes the in-process connection buffers. Default 2048.
+	PipeBuffer int
+	// TopicPrefix names the topics (prefix-0 .. prefix-N). Default "topic".
+	TopicPrefix string
+	// Failover enables subscriber reconnection (cluster runs).
+	Failover bool
+	// Reliable makes the publisher wait for acks and republish (cluster
+	// fault-tolerance runs need it so no message is lost, §3).
+	Reliable bool
+	Seed     int64
+}
+
+// withDefaults fills zero fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.Subscribers <= 0 {
+		s.Subscribers = 1000
+	}
+	if s.Topics <= 0 {
+		s.Topics = 10
+	}
+	if s.PayloadSize <= 0 {
+		s.PayloadSize = 140
+	}
+	if s.PublishInterval <= 0 {
+		s.PublishInterval = time.Second
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 2 * time.Second
+	}
+	if s.Measure <= 0 {
+		s.Measure = 10 * time.Second
+	}
+	if s.PipeBuffer <= 0 {
+		s.PipeBuffer = 2048
+	}
+	if s.TopicPrefix == "" {
+		s.TopicPrefix = "topic"
+	}
+	return s
+}
+
+// TopicNames materializes the scenario's topic list.
+func (s Scenario) TopicNames() []string {
+	out := make([]string, s.Topics)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%d", s.TopicPrefix, i)
+	}
+	return out
+}
+
+// Result is one benchmark row, mirroring the columns of the paper's
+// Table 1 (latency statistics, CPU, traffic, topics) plus the integrity
+// counters used by the fault-tolerance runs.
+type Result struct {
+	Subscribers int
+	Topics      int
+	Latency     metrics.Stats
+	CPU         float64 // engine busy fraction of total capacity
+	Gbps        float64 // outgoing notification traffic
+	MsgsPerSec  float64 // delivered notifications per second
+	Received    int64
+	Recovered   int64
+	Reconnects  int64
+	Gaps        int64
+}
+
+// Row formats the result like a row of Table 1 (latencies in ms).
+func (r Result) Row() string {
+	return fmt.Sprintf("%8d  %7.2f  %7.2f  %7.2f  %7.2f  %7.2f  %7.2f  %6.2f%%  %6.3f  %4d",
+		r.Subscribers, r.Latency.Median, r.Latency.Mean, r.Latency.StdDev,
+		r.Latency.P90, r.Latency.P95, r.Latency.P99,
+		r.CPU*100, r.Gbps, r.Topics)
+}
+
+// RowHeader is the column header matching Row.
+const RowHeader = "   Subs.   Median     Mean   StdDev      P90      P95      P99     CPU     Gbps  Topics"
+
+// SingleEngineAttach attaches connections to one engine over small
+// in-process pipes (the vertical-scalability setup: one server machine,
+// benchmark tools alongside).
+func SingleEngineAttach(e *core.Engine, pipeBuffer int) AttachFunc {
+	var counter atomic.Int64
+	return func(i int) (net.Conn, error) {
+		n := counter.Add(1)
+		a, b := transport.NewPipeSize(
+			transport.Addr{Net: "inproc", Address: fmt.Sprintf("lg-%d-%d", i, n)},
+			transport.Addr{Net: "inproc", Address: e.ServerID()},
+			pipeBuffer,
+		)
+		if _, err := e.Attach(core.NewRawFramed(b)); err != nil {
+			a.Close()
+			return nil, err
+		}
+		return a, nil
+	}
+}
+
+// MultiEngineAttach spreads connections round-robin over several engines
+// (the horizontal-scalability setup), skipping engines that reject the
+// attachment (crashed servers) — the live-server failover path.
+func MultiEngineAttach(engines []*core.Engine, pipeBuffer int) AttachFunc {
+	var counter atomic.Int64
+	return func(i int) (net.Conn, error) {
+		n := counter.Add(1)
+		for try := 0; try < len(engines); try++ {
+			e := engines[(int(n)+try)%len(engines)]
+			a, b := transport.NewPipeSize(
+				transport.Addr{Net: "inproc", Address: fmt.Sprintf("lg-%d-%d", i, n)},
+				transport.Addr{Net: "inproc", Address: e.ServerID()},
+				pipeBuffer,
+			)
+			if _, err := e.Attach(core.NewRawFramed(b)); err == nil {
+				return a, nil
+			}
+			a.Close()
+			b.Close()
+		}
+		return nil, errors.New("loadgen: no live engine accepts connections")
+	}
+}
+
+// RunScenario executes one vertical-scalability row against an engine:
+// attach subscribers, start the publisher, warm up, measure, and report.
+func RunScenario(e *core.Engine, sc Scenario) (Result, error) {
+	sc = sc.withDefaults()
+	attach := SingleEngineAttach(e, sc.PipeBuffer)
+	return runWith(sc, attach, attach, func() (float64, float64) {
+		st := e.Stats()
+		return st.CPUUtilized, st.Gbps
+	}, func() { e.ResetMeters() })
+}
+
+// StartScenarioMulti starts the benchmark tools against several engines
+// with subscriber failover enabled and returns them without driving the
+// measurement, so fault-tolerance harnesses (Table 2) control warm-up,
+// fail-stop injection, and before/after windows themselves.
+func StartScenarioMulti(engines []*core.Engine, sc Scenario) (*Benchsub, *Benchpub, error) {
+	sc = sc.withDefaults()
+	sc.Failover = true
+	attach := MultiEngineAttach(engines, sc.PipeBuffer)
+	return startScenario(sc, attach, attach)
+}
+
+// runWith is the single-engine scenario driver.
+func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
+	meters func() (cpu, gbps float64), resetMeters func()) (Result, error) {
+
+	hist := &metrics.Histogram{}
+	topics := sc.TopicNames()
+	bs, err := StartBenchsub(SubConfig{
+		Connections: sc.Subscribers,
+		Topics:      topics,
+		Attach:      subAttach,
+		Histogram:   hist,
+		Failover:    sc.Failover,
+		Seed:        sc.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer bs.Close()
+
+	bp, err := StartBenchpub(PubConfig{
+		Topics:      topics,
+		Interval:    sc.PublishInterval,
+		PayloadSize: sc.PayloadSize,
+		Attach:      pubAttach,
+		Seed:        sc.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer bp.Close()
+
+	time.Sleep(sc.Warmup)
+	resetMeters()
+	bs.StartRecording()
+	receivedBefore := bs.Received()
+	time.Sleep(sc.Measure)
+	bs.StopRecording()
+	cpu, gbps := meters()
+	received := bs.Received() - receivedBefore
+
+	return Result{
+		Subscribers: sc.Subscribers,
+		Topics:      sc.Topics,
+		Latency:     hist.Snapshot(),
+		CPU:         cpu,
+		Gbps:        gbps,
+		MsgsPerSec:  float64(received) / sc.Measure.Seconds(),
+		Received:    bs.Received(),
+		Recovered:   bs.Recovered(),
+		Reconnects:  bs.Reconnects(),
+		Gaps:        bs.Gaps(),
+	}, nil
+}
+
+// startScenario starts the tools without driving the measurement phases.
+func startScenario(sc Scenario, subAttach, pubAttach AttachFunc) (*Benchsub, *Benchpub, error) {
+	hist := &metrics.Histogram{}
+	topics := sc.TopicNames()
+	bs, err := StartBenchsub(SubConfig{
+		Connections: sc.Subscribers,
+		Topics:      topics,
+		Attach:      subAttach,
+		Histogram:   hist,
+		Failover:    sc.Failover,
+		Seed:        sc.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bp, err := StartBenchpub(PubConfig{
+		Topics:      topics,
+		Interval:    sc.PublishInterval,
+		PayloadSize: sc.PayloadSize,
+		Attach:      pubAttach,
+		Reliable:    sc.Reliable,
+		Seed:        sc.Seed,
+	})
+	if err != nil {
+		bs.Close()
+		return nil, nil, err
+	}
+	return bs, bp, nil
+}
+
+// Histogram returns the histogram a started Benchsub records into.
+func (b *Benchsub) Histogram() *metrics.Histogram { return b.cfg.Histogram }

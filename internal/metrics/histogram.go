@@ -1,0 +1,144 @@
+// Package metrics provides the measurement machinery used by the benchmark
+// harnesses: exact latency statistics matching the columns of the paper's
+// Table 1 and Table 2 (median, mean, standard deviation, P90, P95, P99),
+// process CPU accounting, throughput counters, and a stop-the-world pause
+// injector used by the GC ablation experiment.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects latency samples and computes exact order statistics.
+// It keeps raw samples (8 bytes each); at the scales used by the harnesses
+// (tens of millions of samples at most) this is cheap and exact, which
+// matters for the long-tail percentiles the paper reports.
+//
+// The zero value is ready to use. Histogram is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64 // milliseconds
+	sorted  bool
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.mu.Lock()
+	h.samples = append(h.samples, ms)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// RecordMillis adds one latency sample expressed in milliseconds.
+func (h *Histogram) RecordMillis(ms float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, ms)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Merge adds all samples from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	samples := append([]float64(nil), other.samples...)
+	other.mu.Unlock()
+	h.mu.Lock()
+	h.samples = append(h.samples, samples...)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Stats is the set of latency statistics the paper reports per run
+// (Table 1 and Table 2 columns). All values are milliseconds.
+type Stats struct {
+	Count  int
+	Median float64
+	Mean   float64
+	StdDev float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Min    float64
+	Max    float64
+}
+
+// Snapshot computes the statistics over all samples recorded so far.
+func (h *Histogram) Snapshot() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return Stats{}
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	var sum, sumSq float64
+	for _, v := range h.samples {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0 // floating-point noise on near-constant samples
+	}
+	return Stats{
+		Count:  n,
+		Median: percentileSorted(h.samples, 50),
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		P90:    percentileSorted(h.samples, 90),
+		P95:    percentileSorted(h.samples, 95),
+		P99:    percentileSorted(h.samples, 99),
+		Min:    h.samples[0],
+		Max:    h.samples[n-1],
+	}
+}
+
+// percentileSorted returns the p-th percentile (nearest-rank with linear
+// interpolation) of an ascending-sorted sample set.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String formats the stats in the layout of the paper's tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("median=%.0fms mean=%.2fms stddev=%.2fms p90=%.0fms p95=%.0fms p99=%.0fms (n=%d)",
+		s.Median, s.Mean, s.StdDev, s.P90, s.P95, s.P99, s.Count)
+}

@@ -1,0 +1,212 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame layout: [u32 big-endian body length][body].
+// Body layout:  [u8 kind][u8 flags][u8 status][fields...] where fields are
+// written in a fixed order per message: strings and byte slices are
+// uvarint-length-prefixed, integers are uvarints, Timestamp is a fixed
+// 8-byte big-endian value (it does not compress well and is hot-path).
+//
+// Every message carries every field slot in a fixed order; empty strings and
+// slices cost one byte. This keeps the codec simple, branch-free and
+// forward-compatible, while the dominant frame (NOTIFY with a 140-byte
+// payload, per the paper's workload) stays compact: ~20 bytes of overhead.
+
+// Codec errors.
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds maximum size")
+	ErrTruncated     = errors.New("protocol: truncated frame")
+	ErrBadKind       = errors.New("protocol: unknown message kind")
+)
+
+// MaxFrameSize bounds a single frame. Publications are small (the paper's
+// workloads use 140- and 512-byte payloads); cache catch-up batches are the
+// largest frames, so the cap is generous.
+const MaxFrameSize = 16 << 20
+
+// headerSize is the length-prefix size.
+const headerSize = 4
+
+// AppendEncode appends the full frame (length prefix + body) for m to dst
+// and returns the extended slice.
+func AppendEncode(dst []byte, m *Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	dst = append(dst, byte(m.Kind), m.Flags, m.Status)
+	dst = appendString(dst, m.ClientID)
+	dst = appendString(dst, m.Topic)
+	dst = appendString(dst, m.ID)
+	dst = appendBytes(dst, m.Payload)
+	dst = binary.AppendUvarint(dst, uint64(m.Epoch))
+	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = binary.AppendUvarint(dst, zigzag(int64(m.Group)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.Timestamp))
+	dst = binary.AppendUvarint(dst, uint64(len(m.Topics)))
+	for _, tp := range m.Topics {
+		dst = appendString(dst, tp.Topic)
+		dst = binary.AppendUvarint(dst, uint64(tp.Epoch))
+		dst = binary.AppendUvarint(dst, tp.Seq)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerSize))
+	return dst
+}
+
+// Encode returns the full frame for m.
+func Encode(m *Message) []byte {
+	return AppendEncode(nil, m)
+}
+
+// DecodeBody decodes a frame body (excluding the 4-byte length prefix).
+func DecodeBody(body []byte) (*Message, error) {
+	d := bodyReader{buf: body}
+	kind, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Kind: Kind(kind)}
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	if m.Flags, err = d.u8(); err != nil {
+		return nil, err
+	}
+	if m.Status, err = d.u8(); err != nil {
+		return nil, err
+	}
+	if m.ClientID, err = d.str(); err != nil {
+		return nil, err
+	}
+	if m.Topic, err = d.str(); err != nil {
+		return nil, err
+	}
+	if m.ID, err = d.str(); err != nil {
+		return nil, err
+	}
+	if m.Payload, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	epoch, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.Epoch = uint32(epoch)
+	if m.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	groupRaw, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	m.Group = int32(unzigzag(groupRaw))
+	ts, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Timestamp = int64(ts)
+	nTopics, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nTopics > uint64(len(d.buf)) {
+		// Each topic entry costs at least 3 bytes; a count larger than the
+		// remaining buffer is corrupt and must not drive allocation.
+		return nil, ErrTruncated
+	}
+	if nTopics > 0 {
+		m.Topics = make([]TopicPosition, 0, nTopics)
+		for i := uint64(0); i < nTopics; i++ {
+			var tp TopicPosition
+			if tp.Topic, err = d.str(); err != nil {
+				return nil, err
+			}
+			e, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			tp.Epoch = uint32(e)
+			if tp.Seq, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+			m.Topics = append(m.Topics, tp)
+		}
+	}
+	return m, nil
+}
+
+// zigzag / unzigzag map signed values onto uvarint-friendly unsigned ones.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// bodyReader is a bounds-checked sequential reader over a frame body.
+type bodyReader struct {
+	buf []byte
+	off int
+}
+
+func (d *bodyReader) u8() (uint8, error) {
+	if d.off >= len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *bodyReader) u64() (uint64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *bodyReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *bodyReader) str() (string, error) {
+	b, err := d.bytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *bodyReader) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Copy out: the frame buffer is recycled by the decoder.
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package protocol
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Kind:      KindNotify,
+		ClientID:  "client-7",
+		Topic:     "scores/uefa",
+		ID:        "pub-1:42",
+		Payload:   bytes.Repeat([]byte{0xAB}, 140),
+		Epoch:     3,
+		Seq:       123456789,
+		Group:     42,
+		Flags:     FlagAckRequired | FlagRetransmission,
+		Status:    StatusOK,
+		Timestamp: 1712345678901234567,
+		Topics: []TopicPosition{
+			{Topic: "a", Epoch: 1, Seq: 10},
+			{Topic: "b/c", Epoch: 0, Seq: 0},
+		},
+	}
+}
+
+func TestRoundTripFull(t *testing.T) {
+	m := sampleMessage()
+	frame := Encode(m)
+	got, err := DecodeBody(frame[4:])
+	if err != nil {
+		t.Fatalf("DecodeBody: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestRoundTripMinimal(t *testing.T) {
+	for _, kind := range []Kind{KindPing, KindPong, KindDisconnect, KindConnAck} {
+		m := &Message{Kind: kind}
+		got, err := DecodeBody(Encode(m)[4:])
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got.Kind != kind {
+			t.Fatalf("kind mismatch: %v != %v", got.Kind, kind)
+		}
+	}
+}
+
+func TestRoundTripNegativeGroup(t *testing.T) {
+	m := &Message{Kind: KindGossip, Group: -1}
+	got, err := DecodeBody(Encode(m)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Group != -1 {
+		t.Fatalf("Group = %d, want -1", got.Group)
+	}
+}
+
+func TestRoundTripExtremes(t *testing.T) {
+	m := &Message{
+		Kind:      KindReplicate,
+		Epoch:     math.MaxUint32,
+		Seq:       math.MaxUint64,
+		Group:     math.MaxInt32,
+		Timestamp: math.MinInt64,
+	}
+	got, err := DecodeBody(Encode(m)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Seq != m.Seq || got.Group != m.Group || got.Timestamp != m.Timestamp {
+		t.Fatalf("extremes mismatch: %+v", got)
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	m := sampleMessage()
+	frame := Encode(m)
+	frame[4] = 200 // invalid kind byte
+	if _, err := DecodeBody(frame[4:]); err == nil {
+		t.Fatal("expected error for bad kind")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	frame := Encode(sampleMessage())
+	body := frame[4:]
+	// Every strict prefix of the body must fail cleanly, never panic.
+	for i := 0; i < len(body); i++ {
+		if _, err := DecodeBody(body[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", i)
+		}
+	}
+}
+
+func TestDecodeCorruptTopicCount(t *testing.T) {
+	// Craft a body whose topic count is absurd relative to remaining bytes.
+	m := &Message{Kind: KindSubscribe}
+	frame := Encode(m)
+	body := append([]byte(nil), frame[4:]...)
+	// The last varint is the topic count (0 for this message); bump it.
+	body[len(body)-1] = 0xFF // varint continuation byte -> truncated varint
+	if _, err := DecodeBody(body); err == nil {
+		t.Fatal("expected error for corrupt topic count")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(clientID, topic, id string, payload []byte, epoch uint32, seq uint64, group int32, flags, status uint8, ts int64, topics []string) bool {
+		m := &Message{
+			Kind:      KindPublish,
+			ClientID:  clientID,
+			Topic:     topic,
+			ID:        id,
+			Payload:   payload,
+			Epoch:     epoch,
+			Seq:       seq,
+			Group:     group,
+			Flags:     flags,
+			Status:    status,
+			Timestamp: ts,
+		}
+		for i, tp := range topics {
+			m.Topics = append(m.Topics, TopicPosition{Topic: tp, Epoch: uint32(i), Seq: uint64(i) * 7})
+		}
+		got, err := DecodeBody(Encode(m)[4:])
+		if err != nil {
+			return false
+		}
+		// Normalize empty vs nil payload for comparison.
+		if len(m.Payload) == 0 {
+			m.Payload = nil
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendEncodeReusesBuffer(t *testing.T) {
+	m := sampleMessage()
+	buf := make([]byte, 0, 1024)
+	out := AppendEncode(buf, m)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendEncode reallocated despite sufficient capacity")
+	}
+	// Two frames back to back decode independently.
+	out = AppendEncode(out, m)
+	var sd StreamDecoder
+	sd.Feed(out)
+	for i := 0; i < 2; i++ {
+		got, err := sd.Next()
+		if err != nil || got == nil {
+			t.Fatalf("frame %d: %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		if unzigzag(zigzag(v)) != v {
+			t.Errorf("zigzag round trip failed for %d", v)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindConnect, KindConnAck, KindSubscribe, KindSubAck, KindUnsubscribe,
+		KindPublish, KindPubAck, KindNotify, KindPing, KindPong, KindDisconnect,
+		KindReplicate, KindReplicateAck, KindForward, KindForwardFail, KindGossip,
+		KindCacheRequest, KindCacheResponse, KindPubDone}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+		if !k.Valid() {
+			t.Errorf("kind %v reported invalid", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(99).Valid() {
+		t.Error("invalid kinds reported valid")
+	}
+	if Kind(99).String() != "KIND(99)" {
+		t.Errorf("unknown kind String = %q", Kind(99).String())
+	}
+}
+
+func TestIsClusterInternal(t *testing.T) {
+	if KindPublish.IsClusterInternal() {
+		t.Error("PUBLISH is client-facing")
+	}
+	if !KindReplicate.IsClusterInternal() {
+		t.Error("REPLICATE is cluster-internal")
+	}
+}
+
+func BenchmarkEncodeNotify140B(b *testing.B) {
+	m := &Message{
+		Kind: KindNotify, Topic: "scores/10", ID: "p:123",
+		Payload: make([]byte, 140), Epoch: 1, Seq: 999, Timestamp: 1712345678901234567,
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecodeNotify140B(b *testing.B) {
+	m := &Message{
+		Kind: KindNotify, Topic: "scores/10", ID: "p:123",
+		Payload: make([]byte, 140), Epoch: 1, Seq: 999, Timestamp: 1712345678901234567,
+	}
+	frame := Encode(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBody(frame[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

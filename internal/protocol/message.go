@@ -1,0 +1,198 @@
+// Package protocol defines the MigratoryData wire protocol: the message
+// model for the service described in the paper §3 (publish, acknowledgement,
+// subscribe with resume positions, notification carrying (epoch, sequence))
+// and the cluster-internal messages of §5 (replication broadcast, coordinator
+// forwarding, gossip announcements, cache catch-up). Messages are exchanged
+// as length-prefixed binary frames, typically carried inside WebSocket
+// binary frames for clients and over raw TCP between cluster members.
+package protocol
+
+import "fmt"
+
+// Kind identifies the message type.
+type Kind uint8
+
+// Client-facing message kinds (paper §3, Figure 1).
+const (
+	// KindConnect is the client hello carrying the client identifier.
+	KindConnect Kind = iota + 1
+	// KindConnAck confirms a connection and reports the server's ID.
+	KindConnAck
+	// KindSubscribe subscribes to topics, optionally resuming each from a
+	// last-received (epoch, seq) position for missed-message recovery.
+	KindSubscribe
+	// KindSubAck confirms a subscription.
+	KindSubAck
+	// KindUnsubscribe removes topic subscriptions.
+	KindUnsubscribe
+	// KindPublish is a publication from a publisher; if FlagAckRequired is
+	// set the publisher expects a KindPubAck once the message is stored on
+	// at least two servers (at-least-once delivery, MQTT QoS 1 equivalent).
+	KindPublish
+	// KindPubAck acknowledges (or rejects, via Status) a publication.
+	KindPubAck
+	// KindNotify delivers a sequenced message to a subscriber.
+	KindNotify
+	// KindPing and KindPong implement application-level liveness probes.
+	KindPing
+	KindPong
+	// KindDisconnect is a graceful goodbye; servers also send it before
+	// preventively closing clients during a network partition (§5.2.2).
+	KindDisconnect
+)
+
+// Cluster-internal message kinds (paper §5).
+const (
+	// KindReplicate is the coordinator's broadcast of a sequenced
+	// publication to every cluster member (§5.2.2).
+	KindReplicate Kind = iota + 32
+	// KindReplicateAck confirms that a member stored a replicated message
+	// in its cache; the first ack makes the message durable on ≥2 servers.
+	KindReplicateAck
+	// KindForward carries a publication from its contact server to the
+	// (known or would-be) coordinator of the topic's group.
+	KindForward
+	// KindForwardFail tells the contact server that the designated node
+	// failed to become coordinator; the publisher is answered with a
+	// failed publication and will republish (§5.2.2, footnote 3).
+	KindForwardFail
+	// KindGossip announces "server S coordinates group G (epoch E)";
+	// members use it to populate their gossip maps lazily (§5.2.1).
+	KindGossip
+	// KindCacheRequest asks a peer for the cached messages of a topic
+	// group after a given (epoch, seq), used for cache reconstruction
+	// after a crash or partition (§5.2.2).
+	KindCacheRequest
+	// KindCacheResponse returns a batch of cached messages.
+	KindCacheResponse
+	// KindPubDone tells a contact server that a forwarded publication
+	// reached the configured replication degree, so the contact can
+	// acknowledge its publisher. Only used when the cluster runs with
+	// more than the paper's default two copies; at degree two the
+	// arrival of the KindReplicate broadcast itself is the proof
+	// (§5.2.2).
+	KindPubDone
+)
+
+// Flags carried by a message.
+const (
+	// FlagAckRequired marks a publication whose publisher expects an ack.
+	FlagAckRequired uint8 = 1 << iota
+	// FlagRetransmission marks a notification replayed from the history
+	// cache during recovery rather than delivered live.
+	FlagRetransmission
+	// FlagConflated marks a notification produced by conflation.
+	FlagConflated
+)
+
+// Status values for KindPubAck / KindSubAck / KindForwardFail.
+const (
+	StatusOK uint8 = iota
+	StatusFailed
+	StatusRedirect // try another server (used during partition fencing)
+)
+
+// TopicPosition names a topic and the last (epoch, seq) the subscriber has
+// received for it; zero Epoch and Seq mean "from now on".
+type TopicPosition struct {
+	Topic string
+	Epoch uint32
+	Seq   uint64
+}
+
+// Message is the single frame type exchanged on all connections. Field use
+// depends on Kind; unused fields are zero and are omitted from the wire
+// encoding (the codec is kind-aware).
+type Message struct {
+	Kind Kind
+
+	// ClientID identifies the connecting client (Connect) or names the
+	// origin server on cluster-internal frames.
+	ClientID string
+
+	// Topic of a publication or notification.
+	Topic string
+
+	// ID is the publisher-assigned message identifier, used for publisher
+	// retransmission matching and subscriber duplicate filtering.
+	ID string
+
+	// Payload is the application data.
+	Payload []byte
+
+	// Epoch and Seq order messages within a topic: Seq is assigned by the
+	// topic-group coordinator; Epoch increments on coordinator change.
+	Epoch uint32
+	Seq   uint64
+
+	// Group is the topic group, set on cluster-internal frames.
+	Group int32
+
+	// Flags and Status as defined above.
+	Flags  uint8
+	Status uint8
+
+	// Timestamp is the publisher-side send time in Unix nanoseconds. It
+	// rides along to notifications so Benchsub can compute end-to-end
+	// latency (paper §6).
+	Timestamp int64
+
+	// Topics carries the subscription list with resume positions
+	// (Subscribe, Unsubscribe, CacheRequest).
+	Topics []TopicPosition
+}
+
+// IsClusterInternal reports whether the kind is a server↔server frame.
+func (k Kind) IsClusterInternal() bool { return k >= 32 }
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindConnect:
+		return "CONNECT"
+	case KindConnAck:
+		return "CONNACK"
+	case KindSubscribe:
+		return "SUBSCRIBE"
+	case KindSubAck:
+		return "SUBACK"
+	case KindUnsubscribe:
+		return "UNSUBSCRIBE"
+	case KindPublish:
+		return "PUBLISH"
+	case KindPubAck:
+		return "PUBACK"
+	case KindNotify:
+		return "NOTIFY"
+	case KindPing:
+		return "PING"
+	case KindPong:
+		return "PONG"
+	case KindDisconnect:
+		return "DISCONNECT"
+	case KindReplicate:
+		return "REPLICATE"
+	case KindReplicateAck:
+		return "REPLICATE_ACK"
+	case KindForward:
+		return "FORWARD"
+	case KindForwardFail:
+		return "FORWARD_FAIL"
+	case KindGossip:
+		return "GOSSIP"
+	case KindCacheRequest:
+		return "CACHE_REQUEST"
+	case KindCacheResponse:
+		return "CACHE_RESPONSE"
+	case KindPubDone:
+		return "PUB_DONE"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a known message kind.
+func (k Kind) Valid() bool {
+	return (k >= KindConnect && k <= KindDisconnect) ||
+		(k >= KindReplicate && k <= KindPubDone)
+}

@@ -1,0 +1,80 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeArbitraryBytesNeverPanics feeds random garbage to the decoder:
+// it must return an error or a valid message, never panic or over-allocate.
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	err := quick.Check(func(body []byte) bool {
+		m, err := DecodeBody(body)
+		if err != nil {
+			return true
+		}
+		return m != nil && m.Kind.Valid()
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeMutatedFrames flips bytes in valid frames: decoding must stay
+// panic-free and either fail or produce a structurally valid message.
+func TestDecodeMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := Encode(sampleMessage())
+	for trial := 0; trial < 5000; trial++ {
+		frame := append([]byte(nil), base...)
+		for flips := 0; flips < 1+rng.Intn(4); flips++ {
+			frame[rng.Intn(len(frame))] ^= byte(1 + rng.Intn(255))
+		}
+		m, err := DecodeBody(frame[4:])
+		if err == nil && (m == nil || !m.Kind.Valid()) {
+			t.Fatalf("mutated frame decoded into invalid message: %+v", m)
+		}
+	}
+}
+
+// TestStreamDecoderRandomChunking splits a message sequence at random
+// boundaries: every message must come out exactly once, in order.
+func TestStreamDecoderRandomChunking(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		const n = 40
+		var wire []byte
+		for i := 0; i < n; i++ {
+			wire = AppendEncode(wire, &Message{
+				Kind: KindNotify, Topic: "t", Seq: uint64(i + 1),
+				Payload: make([]byte, rng.Intn(300)),
+			})
+		}
+		var sd StreamDecoder
+		var got []uint64
+		for len(wire) > 0 {
+			chunk := rng.Intn(len(wire)) + 1
+			sd.Feed(wire[:chunk])
+			wire = wire[chunk:]
+			for {
+				m, err := sd.Next()
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if m == nil {
+					break
+				}
+				got = append(got, m.Seq)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: decoded %d messages, want %d", trial, len(got), n)
+		}
+		for i, seq := range got {
+			if seq != uint64(i+1) {
+				t.Fatalf("trial %d: message %d has seq %d (order broken)", trial, i, seq)
+			}
+		}
+	}
+}

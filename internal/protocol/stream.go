@@ -1,0 +1,55 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StreamDecoder incrementally decodes frames from a byte stream. It embodies
+// the paper's observation about the I/O layer (§4): the read buffer of a
+// client "may contain a partial message" and is appended to lock-free by the
+// single IoThread owning that client. Feed bytes as they arrive; Next pops
+// complete messages.
+//
+// StreamDecoder is NOT safe for concurrent use — by design, exactly one
+// IoThread touches a given client's decoder.
+type StreamDecoder struct {
+	buf []byte
+}
+
+// Feed appends newly-received bytes to the pending buffer.
+func (s *StreamDecoder) Feed(data []byte) {
+	s.buf = append(s.buf, data...)
+}
+
+// Next decodes and removes the next complete frame, if any.
+// It returns (nil, nil) when more bytes are needed.
+func (s *StreamDecoder) Next() (*Message, error) {
+	if len(s.buf) < headerSize {
+		return nil, nil
+	}
+	bodyLen := binary.BigEndian.Uint32(s.buf)
+	if bodyLen > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, bodyLen)
+	}
+	total := headerSize + int(bodyLen)
+	if len(s.buf) < total {
+		return nil, nil
+	}
+	m, err := DecodeBody(s.buf[headerSize:total])
+	if err != nil {
+		return nil, err
+	}
+	// Shift the remainder to the front. Frames are small and back-to-back
+	// arrivals are drained in a loop, so the copy cost is negligible and
+	// keeps the buffer from growing without bound.
+	n := copy(s.buf, s.buf[total:])
+	s.buf = s.buf[:n]
+	return m, nil
+}
+
+// Pending reports the number of buffered, not-yet-decoded bytes.
+func (s *StreamDecoder) Pending() int { return len(s.buf) }
+
+// Reset discards all buffered bytes.
+func (s *StreamDecoder) Reset() { s.buf = s.buf[:0] }

@@ -1,0 +1,109 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestStreamDecoderWholeFrame(t *testing.T) {
+	var sd StreamDecoder
+	m := sampleMessage()
+	sd.Feed(Encode(m))
+	got, err := sd.Next()
+	if err != nil || got == nil {
+		t.Fatalf("Next = %v, %v", got, err)
+	}
+	if got.Topic != m.Topic || got.Seq != m.Seq {
+		t.Fatalf("decoded %+v", got)
+	}
+	if sd.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain", sd.Pending())
+	}
+}
+
+func TestStreamDecoderByteAtATime(t *testing.T) {
+	var sd StreamDecoder
+	frame := Encode(sampleMessage())
+	for i, b := range frame {
+		sd.Feed([]byte{b})
+		m, err := sd.Next()
+		if err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		if i < len(frame)-1 && m != nil {
+			t.Fatalf("message completed early at byte %d", i)
+		}
+		if i == len(frame)-1 && m == nil {
+			t.Fatal("message not completed after final byte")
+		}
+	}
+}
+
+func TestStreamDecoderMultipleFrames(t *testing.T) {
+	var sd StreamDecoder
+	var buf []byte
+	const n = 50
+	for i := 0; i < n; i++ {
+		buf = AppendEncode(buf, &Message{Kind: KindNotify, Topic: "t", Seq: uint64(i)})
+	}
+	sd.Feed(buf)
+	for i := 0; i < n; i++ {
+		m, err := sd.Next()
+		if err != nil || m == nil {
+			t.Fatalf("frame %d: %v, %v", i, m, err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("frame %d has seq %d (order broken)", i, m.Seq)
+		}
+	}
+	if m, _ := sd.Next(); m != nil {
+		t.Fatal("extra frame decoded")
+	}
+}
+
+func TestStreamDecoderSplitAcrossFeeds(t *testing.T) {
+	var sd StreamDecoder
+	frame := Encode(sampleMessage())
+	mid := len(frame) / 2
+	sd.Feed(frame[:mid])
+	if m, err := sd.Next(); m != nil || err != nil {
+		t.Fatalf("half frame: %v, %v", m, err)
+	}
+	sd.Feed(frame[mid:])
+	m, err := sd.Next()
+	if err != nil || m == nil {
+		t.Fatalf("completed frame: %v, %v", m, err)
+	}
+}
+
+func TestStreamDecoderOversizeFrame(t *testing.T) {
+	var sd StreamDecoder
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, MaxFrameSize+1)
+	sd.Feed(hdr)
+	if _, err := sd.Next(); err == nil {
+		t.Fatal("expected ErrFrameTooLarge")
+	}
+}
+
+func TestStreamDecoderReset(t *testing.T) {
+	var sd StreamDecoder
+	sd.Feed([]byte{1, 2, 3})
+	sd.Reset()
+	if sd.Pending() != 0 {
+		t.Fatal("Reset did not clear buffer")
+	}
+}
+
+func BenchmarkStreamDecoder(b *testing.B) {
+	frame := Encode(&Message{Kind: KindNotify, Topic: "scores/1", Payload: make([]byte, 140), Seq: 1})
+	var sd StreamDecoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Feed(frame)
+		if _, err := sd.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package queue implements the thread-safe queues that connect the two
+// layers of the MigratoryData engine (paper §4, Figure 2). IoThreads push
+// decoded messages to the queue of the Worker owning the client; Workers
+// push encoded bytes to the queue of the IoThread owning the client. Both
+// directions are many-producers / single-consumer, and the consumer blocks
+// when idle, so the queue couples an unbounded linked buffer with a condition
+// variable and supports batched draining to amortize wakeups.
+package queue
+
+import (
+	"sync"
+)
+
+// MPSC is an unbounded multi-producer single-consumer queue of arbitrary
+// items. The zero value is NOT ready to use; construct with NewMPSC.
+//
+// Close releases a blocked consumer; after Close, Push is a no-op and
+// PopWait drains the remaining items before reporting closed.
+type MPSC[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	spare  []T // recycled backing array handed back by the consumer
+	closed bool
+}
+
+// NewMPSC returns an empty queue.
+func NewMPSC[T any]() *MPSC[T] {
+	q := &MPSC[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends item and wakes the consumer. Push on a closed queue drops the
+// item: the consumer is gone, so there is nobody to deliver to.
+func (q *MPSC[T]) Push(item T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.adoptSpareLocked()
+	wasEmpty := len(q.items) == 0
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	if wasEmpty {
+		q.cond.Signal()
+	}
+}
+
+// adoptSpareLocked moves a recycled backing array into service when the
+// live buffer has no capacity. Caller must hold q.mu.
+func (q *MPSC[T]) adoptSpareLocked() {
+	if cap(q.items) == 0 && q.spare != nil {
+		q.items = q.spare[:0]
+		q.spare = nil
+	}
+}
+
+// PushAll appends a batch of items with a single lock acquisition.
+func (q *MPSC[T]) PushAll(items []T) {
+	if len(items) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.adoptSpareLocked()
+	wasEmpty := len(q.items) == 0
+	q.items = append(q.items, items...)
+	q.mu.Unlock()
+	if wasEmpty {
+		q.cond.Signal()
+	}
+}
+
+// PopWait blocks until at least one item is available or the queue is
+// closed, then returns the entire pending batch. The returned slice is owned
+// by the caller until the next call to PopWait; callers must not retain it
+// across calls. ok is false only when the queue is closed AND drained.
+func (q *MPSC[T]) PopWait() (batch []T, ok bool) {
+	q.mu.Lock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		// closed and drained
+		q.mu.Unlock()
+		return nil, false
+	}
+	batch = q.items
+	// Hand the consumer's previous batch array back as the new backing
+	// array so steady-state operation does not allocate.
+	q.items = q.spare[:0]
+	q.spare = nil
+	q.mu.Unlock()
+	return batch, true
+}
+
+// Recycle returns a batch slice obtained from PopWait so its backing array
+// can be reused. Optional; skipping it only costs allocations.
+func (q *MPSC[T]) Recycle(batch []T) {
+	var zero T
+	for i := range batch {
+		batch[i] = zero // drop references so the GC can reclaim payloads
+	}
+	q.mu.Lock()
+	if q.spare == nil || cap(batch) > cap(q.spare) {
+		q.spare = batch[:0]
+	}
+	q.mu.Unlock()
+}
+
+// TryPop returns the pending batch without blocking. ok is false if the
+// queue is empty (regardless of closed state).
+func (q *MPSC[T]) TryPop() (batch []T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	batch = q.items
+	q.items = q.spare[:0]
+	q.spare = nil
+	return batch, true
+}
+
+// Len reports the number of pending items.
+func (q *MPSC[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed and wakes the consumer. Idempotent.
+func (q *MPSC[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *MPSC[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

@@ -1,0 +1,238 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPopSingle(t *testing.T) {
+	q := NewMPSC[int]()
+	q.Push(42)
+	batch, ok := q.PopWait()
+	if !ok || len(batch) != 1 || batch[0] != 42 {
+		t.Fatalf("PopWait = %v, %v; want [42], true", batch, ok)
+	}
+}
+
+func TestPopReturnsWholeBatch(t *testing.T) {
+	q := NewMPSC[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	batch, ok := q.PopWait()
+	if !ok || len(batch) != 10 {
+		t.Fatalf("PopWait returned %d items, want 10", len(batch))
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Errorf("batch[%d] = %d, want %d (FIFO order)", i, v, i)
+		}
+	}
+}
+
+func TestPushAll(t *testing.T) {
+	q := NewMPSC[string]()
+	q.PushAll([]string{"a", "b", "c"})
+	q.PushAll(nil) // no-op
+	batch, ok := q.PopWait()
+	if !ok || len(batch) != 3 || batch[0] != "a" || batch[2] != "c" {
+		t.Fatalf("PopWait = %v, %v", batch, ok)
+	}
+}
+
+func TestTryPopEmpty(t *testing.T) {
+	q := NewMPSC[int]()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue returned ok")
+	}
+	q.Push(1)
+	batch, ok := q.TryPop()
+	if !ok || len(batch) != 1 {
+		t.Fatalf("TryPop = %v, %v", batch, ok)
+	}
+}
+
+func TestPopWaitBlocksUntilPush(t *testing.T) {
+	q := NewMPSC[int]()
+	done := make(chan []int)
+	go func() {
+		batch, _ := q.PopWait()
+		done <- batch
+	}()
+	select {
+	case <-done:
+		t.Fatal("PopWait returned before any Push")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Push(7)
+	select {
+	case batch := <-done:
+		if len(batch) != 1 || batch[0] != 7 {
+			t.Fatalf("got %v", batch)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopWait did not wake after Push")
+	}
+}
+
+func TestCloseWakesConsumer(t *testing.T) {
+	q := NewMPSC[int]()
+	done := make(chan bool)
+	go func() {
+		_, ok := q.PopWait()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("PopWait on closed empty queue returned ok=true")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake consumer")
+	}
+}
+
+func TestCloseDrainsPendingItems(t *testing.T) {
+	q := NewMPSC[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	batch, ok := q.PopWait()
+	if !ok || len(batch) != 2 {
+		t.Fatalf("pending items must survive Close: got %v, %v", batch, ok)
+	}
+	if _, ok := q.PopWait(); ok {
+		t.Fatal("drained closed queue must report ok=false")
+	}
+}
+
+func TestPushAfterCloseDropped(t *testing.T) {
+	q := NewMPSC[int]()
+	q.Close()
+	q.Push(1)
+	q.PushAll([]int{2, 3})
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len after push-on-closed = %d, want 0", n)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	q := NewMPSC[int]()
+	q.Close()
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := NewMPSC[int]()
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.Push(1)
+	q.Push(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestRecycleReusesBacking(t *testing.T) {
+	q := NewMPSC[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	batch, _ := q.PopWait()
+	c := cap(batch)
+	q.Recycle(batch)
+	q.Push(1)
+	batch2, _ := q.PopWait()
+	if cap(batch2) != c {
+		t.Errorf("recycled capacity = %d, want %d", cap(batch2), c)
+	}
+}
+
+func TestConcurrentProducersFIFOPerProducer(t *testing.T) {
+	q := NewMPSC[[2]int]() // (producer, seq)
+	const producers = 8
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	total := 0
+	for {
+		batch, ok := q.PopWait()
+		if !ok {
+			break
+		}
+		for _, item := range batch {
+			p, seq := item[0], item[1]
+			if seq != lastSeq[p]+1 {
+				t.Fatalf("producer %d: seq %d after %d (per-producer FIFO violated)", p, seq, lastSeq[p])
+			}
+			lastSeq[p] = seq
+			total++
+		}
+		q.Recycle(batch)
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", total, producers*perProducer)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := NewMPSC[int]()
+	go func() {
+		for {
+			batch, ok := q.PopWait()
+			if !ok {
+				return
+			}
+			q.Recycle(batch)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+	}
+	q.Close()
+}
+
+func BenchmarkPushPopParallel(b *testing.B) {
+	q := NewMPSC[int]()
+	go func() {
+		for {
+			batch, ok := q.PopWait()
+			if !ok {
+				return
+			}
+			q.Recycle(batch)
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Push(1)
+		}
+	})
+	q.Close()
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// pipeBufferSize bounds each direction of an in-memory connection. A full
+// buffer blocks the writer, which provides the same backpressure a TCP send
+// buffer would — important because the engine relies on per-client write
+// queues draining into a flow-controlled transport.
+const pipeBufferSize = 64 << 10
+
+// NewPipe returns both ends of a buffered, flow-controlled duplex pipe.
+// Unlike net.Pipe (which is synchronous), writes complete as soon as the
+// peer's receive buffer has room, matching TCP semantics closely enough for
+// the engine and harnesses.
+func NewPipe(aName, bName net.Addr) (a, b net.Conn) {
+	return NewPipeSize(aName, bName, pipeBufferSize)
+}
+
+// NewPipeSize is NewPipe with an explicit per-direction buffer size. Load
+// harnesses opening hundreds of thousands of connections use small buffers
+// (each connection carries ~1 small message per second in the paper's
+// workload); size is clamped to at least 256 bytes.
+func NewPipeSize(aName, bName net.Addr, size int) (a, b net.Conn) {
+	if size < 256 {
+		size = 256
+	}
+	ab := newHalfSize(size) // a writes, b reads
+	ba := newHalfSize(size) // b writes, a reads
+	a = &pipeConn{read: ba, write: ab, local: aName, remote: bName}
+	b = &pipeConn{read: ab, write: ba, local: bName, remote: aName}
+	return a, b
+}
+
+// half is one direction of the pipe: a bounded byte ring with blocking
+// semantics on both ends.
+type half struct {
+	mu       sync.Mutex
+	canRead  *sync.Cond
+	canWrite *sync.Cond
+	buf      []byte
+	start    int // read offset
+	length   int // bytes available
+	closed   bool
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+func newHalfSize(size int) *half {
+	h := &half{buf: make([]byte, size)}
+	h.canRead = sync.NewCond(&h.mu)
+	h.canWrite = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *half) write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		h.mu.Lock()
+		for h.length == len(h.buf) && !h.closed && !h.deadlineExceeded(h.writeDeadline) {
+			h.waitWithDeadline(h.canWrite, h.writeDeadline)
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return written, ErrClosed
+		}
+		if h.deadlineExceeded(h.writeDeadline) {
+			h.mu.Unlock()
+			return written, os.ErrDeadlineExceeded
+		}
+		n := h.copyIn(p)
+		h.mu.Unlock()
+		h.canRead.Signal()
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// copyIn copies as much of p as fits into the ring. Caller holds h.mu.
+func (h *half) copyIn(p []byte) int {
+	total := 0
+	for len(p) > 0 && h.length < len(h.buf) {
+		end := (h.start + h.length) % len(h.buf)
+		span := len(h.buf) - end
+		if free := len(h.buf) - h.length; span > free {
+			span = free
+		}
+		n := copy(h.buf[end:end+span], p)
+		h.length += n
+		p = p[n:]
+		total += n
+	}
+	return total
+}
+
+func (h *half) read(p []byte) (int, error) {
+	h.mu.Lock()
+	for h.length == 0 && !h.closed && !h.deadlineExceeded(h.readDeadline) {
+		h.waitWithDeadline(h.canRead, h.readDeadline)
+	}
+	if h.length == 0 {
+		defer h.mu.Unlock()
+		if h.closed {
+			return 0, net.ErrClosed // EOF-like: peer gone and buffer drained
+		}
+		return 0, os.ErrDeadlineExceeded
+	}
+	total := 0
+	for len(p) > 0 && h.length > 0 {
+		span := len(h.buf) - h.start
+		if span > h.length {
+			span = h.length
+		}
+		n := copy(p, h.buf[h.start:h.start+span])
+		h.start = (h.start + n) % len(h.buf)
+		h.length -= n
+		p = p[n:]
+		total += n
+	}
+	h.mu.Unlock()
+	h.canWrite.Signal()
+	return total, nil
+}
+
+// waitWithDeadline waits on cond, arranging a wakeup at the deadline if one
+// is set. Caller holds h.mu.
+func (h *half) waitWithDeadline(cond *sync.Cond, deadline time.Time) {
+	if deadline.IsZero() {
+		cond.Wait()
+		return
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return
+	}
+	t := time.AfterFunc(remaining, func() {
+		// Wake everyone so the deadline check re-runs.
+		h.canRead.Broadcast()
+		h.canWrite.Broadcast()
+	})
+	cond.Wait()
+	t.Stop()
+}
+
+func (h *half) deadlineExceeded(d time.Time) bool {
+	return !d.IsZero() && time.Now().After(d)
+}
+
+func (h *half) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.canRead.Broadcast()
+	h.canWrite.Broadcast()
+}
+
+// pipeConn is one endpoint of the duplex pipe; it implements net.Conn.
+type pipeConn struct {
+	read   *half
+	write  *half
+	local  net.Addr
+	remote net.Addr
+	once   sync.Once
+}
+
+// Read implements net.Conn.
+func (c *pipeConn) Read(p []byte) (int, error) { return c.read.read(p) }
+
+// Write implements net.Conn.
+func (c *pipeConn) Write(p []byte) (int, error) { return c.write.write(p) }
+
+// Close implements net.Conn. Closing either end tears down both directions,
+// like closing a TCP socket.
+func (c *pipeConn) Close() error {
+	c.once.Do(func() {
+		c.read.close()
+		c.write.close()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *pipeConn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *pipeConn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *pipeConn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.read.mu.Lock()
+	c.read.readDeadline = t
+	c.read.mu.Unlock()
+	c.read.canRead.Broadcast()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *pipeConn) SetWriteDeadline(t time.Time) error {
+	c.write.mu.Lock()
+	c.write.writeDeadline = t
+	c.write.mu.Unlock()
+	c.write.canWrite.Broadcast()
+	return nil
+}

@@ -1,0 +1,217 @@
+package websocket
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// DefaultMaxMessageSize bounds reassembled message size.
+const DefaultMaxMessageSize = 16 << 20
+
+// ErrClosed is returned after the close handshake completes.
+var ErrClosed = errors.New("websocket: connection closed")
+
+// CloseError carries the peer's close frame status.
+type CloseError struct {
+	Code   int
+	Reason string
+}
+
+// Error implements error.
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("websocket: closed %d %s", e.Code, e.Reason)
+}
+
+// Conn is a WebSocket connection over an arbitrary net.Conn. Reads and
+// writes may proceed concurrently with each other, but at most one reader
+// and one writer at a time (the engine's IoThread model guarantees this).
+type Conn struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	isServer bool // servers expect masked frames and send unmasked ones
+
+	writeMu  sync.Mutex
+	writeBuf []byte
+
+	maxMessage int
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	closeMu   sync.Mutex
+	closeSent bool
+
+	// fragmented-message reassembly state (reader-side, single reader)
+	fragOp  Opcode
+	fragBuf []byte
+}
+
+// newConn wraps nc. Used by the handshake functions.
+func newConn(nc net.Conn, br *bufio.Reader, isServer bool) *Conn {
+	if br == nil {
+		br = bufio.NewReaderSize(nc, 4096)
+	}
+	return &Conn{
+		conn:       nc,
+		br:         br,
+		isServer:   isServer,
+		maxMessage: DefaultMaxMessageSize,
+		rng:        rand.New(rand.NewSource(rand.Int63())),
+	}
+}
+
+// SetMaxMessageSize overrides the reassembled-message size limit.
+func (c *Conn) SetMaxMessageSize(n int) {
+	if n > 0 {
+		c.maxMessage = n
+	}
+}
+
+// NetConn returns the underlying transport connection.
+func (c *Conn) NetConn() net.Conn { return c.conn }
+
+// ReadMessage returns the next complete data message, transparently
+// answering pings with pongs and completing the close handshake. It returns
+// *CloseError once a close frame is received.
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	for {
+		h, err := readFrameHeader(c.br)
+		if err != nil {
+			return 0, nil, err
+		}
+		if c.isServer && !h.masked {
+			return 0, nil, ErrUnmaskedClient
+		}
+		if !c.isServer && h.masked {
+			return 0, nil, ErrMaskedServer
+		}
+		if h.length > int64(c.maxMessage) {
+			c.writeClose(CloseMessageTooBig, "message too big")
+			return 0, nil, ErrMessageTooLarge
+		}
+		payload := make([]byte, h.length)
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			return 0, nil, err
+		}
+		if h.masked {
+			applyMask(payload, h.mask, 0)
+		}
+
+		switch h.opcode {
+		case OpPing:
+			// RFC 6455 §5.5.3: respond with a pong carrying the same data.
+			if err := c.WriteControl(OpPong, payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue // unsolicited pongs are ignored
+		case OpClose:
+			code := CloseNoStatusRcvd
+			reason := ""
+			if len(payload) >= 2 {
+				code = int(binary.BigEndian.Uint16(payload))
+				reason = string(payload[2:])
+			}
+			c.writeClose(CloseNormal, "") // echo close if we haven't sent one
+			return 0, nil, &CloseError{Code: code, Reason: reason}
+		case OpContinuation:
+			if c.fragBuf == nil {
+				return 0, nil, errBadContinuation
+			}
+			if len(c.fragBuf)+len(payload) > c.maxMessage {
+				c.writeClose(CloseMessageTooBig, "message too big")
+				return 0, nil, ErrMessageTooLarge
+			}
+			c.fragBuf = append(c.fragBuf, payload...)
+			if h.fin {
+				op, msg := c.fragOp, c.fragBuf
+				c.fragOp, c.fragBuf = 0, nil
+				return op, msg, nil
+			}
+		case OpText, OpBinary:
+			if c.fragBuf != nil {
+				return 0, nil, errExpectedContinue
+			}
+			if h.fin {
+				return h.opcode, payload, nil
+			}
+			c.fragOp = h.opcode
+			c.fragBuf = payload
+		}
+	}
+}
+
+// WriteMessage sends one unfragmented data message.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if op != OpText && op != OpBinary {
+		return fmt.Errorf("%w: WriteMessage with opcode %#x", ErrProtocol, byte(op))
+	}
+	return c.writeFrame(true, op, payload)
+}
+
+// WriteControl sends a control frame (ping, pong, or close).
+func (c *Conn) WriteControl(op Opcode, payload []byte) error {
+	if !op.IsControl() {
+		return fmt.Errorf("%w: WriteControl with opcode %#x", ErrProtocol, byte(op))
+	}
+	if len(payload) > 125 {
+		return ErrControlTooLong
+	}
+	return c.writeFrame(true, op, payload)
+}
+
+// writeFrame encodes and sends a single frame, masking if client-side.
+func (c *Conn) writeFrame(fin bool, op Opcode, payload []byte) error {
+	var mask [4]byte
+	masked := !c.isServer
+	if masked {
+		c.rngMu.Lock()
+		binary.BigEndian.PutUint32(mask[:], c.rng.Uint32())
+		c.rngMu.Unlock()
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.writeBuf = appendFrameHeader(c.writeBuf[:0], fin, op, masked, mask, len(payload))
+	start := len(c.writeBuf)
+	c.writeBuf = append(c.writeBuf, payload...)
+	if masked {
+		applyMask(c.writeBuf[start:], mask, 0)
+	}
+	_, err := c.conn.Write(c.writeBuf)
+	return err
+}
+
+// writeClose sends a close frame once; later calls are no-ops.
+func (c *Conn) writeClose(code int, reason string) error {
+	c.closeMu.Lock()
+	if c.closeSent {
+		c.closeMu.Unlock()
+		return nil
+	}
+	c.closeSent = true
+	c.closeMu.Unlock()
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload, uint16(code))
+	copy(payload[2:], reason)
+	return c.WriteControl(OpClose, payload)
+}
+
+// Close performs a best-effort close handshake (close frame then transport
+// close). Safe to call multiple times.
+func (c *Conn) Close() error {
+	c.writeClose(CloseNormal, "")
+	return c.conn.Close()
+}
+
+// CloseWithCode sends a close frame with the given status before closing.
+func (c *Conn) CloseWithCode(code int, reason string) error {
+	c.writeClose(code, reason)
+	return c.conn.Close()
+}

@@ -1,0 +1,130 @@
+package websocket
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/textproto"
+	"strings"
+)
+
+// magicGUID is the handshake key suffix from RFC 6455 §1.3.
+const magicGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Handshake errors.
+var (
+	ErrNotWebSocket = errors.New("websocket: request is not a websocket upgrade")
+	ErrBadHandshake = errors.New("websocket: handshake failed")
+)
+
+// acceptKey computes Sec-WebSocket-Accept for a client key.
+func acceptKey(key string) string {
+	h := sha1.Sum([]byte(key + magicGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// ServerHandshake reads an HTTP/1.1 upgrade request from nc, validates it,
+// writes the 101 response, and returns the server-side WebSocket connection.
+// On handshake failure an HTTP error is written before returning.
+func ServerHandshake(nc net.Conn) (*Conn, error) {
+	br := bufio.NewReaderSize(nc, 4096)
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if err := validateUpgrade(req); err != nil {
+		fmt.Fprintf(nc, "HTTP/1.1 400 Bad Request\r\nConnection: close\r\n\r\n%v", err)
+		return nil, err
+	}
+	key := req.Header.Get("Sec-Websocket-Key")
+	var resp strings.Builder
+	resp.WriteString("HTTP/1.1 101 Switching Protocols\r\n")
+	resp.WriteString("Upgrade: websocket\r\n")
+	resp.WriteString("Connection: Upgrade\r\n")
+	resp.WriteString("Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n")
+	if _, err := nc.Write([]byte(resp.String())); err != nil {
+		return nil, err
+	}
+	return newConn(nc, br, true), nil
+}
+
+// validateUpgrade checks the upgrade request headers per RFC 6455 §4.2.1.
+func validateUpgrade(req *http.Request) error {
+	if req.Method != http.MethodGet {
+		return fmt.Errorf("%w: method %s", ErrNotWebSocket, req.Method)
+	}
+	if !headerContainsToken(req.Header, "Connection", "upgrade") {
+		return fmt.Errorf("%w: missing Connection: Upgrade", ErrNotWebSocket)
+	}
+	if !headerContainsToken(req.Header, "Upgrade", "websocket") {
+		return fmt.Errorf("%w: missing Upgrade: websocket", ErrNotWebSocket)
+	}
+	if v := req.Header.Get("Sec-Websocket-Version"); v != "13" {
+		return fmt.Errorf("%w: unsupported version %q", ErrNotWebSocket, v)
+	}
+	key := req.Header.Get("Sec-Websocket-Key")
+	if key == "" {
+		return fmt.Errorf("%w: missing Sec-WebSocket-Key", ErrNotWebSocket)
+	}
+	if raw, err := base64.StdEncoding.DecodeString(key); err != nil || len(raw) != 16 {
+		return fmt.Errorf("%w: malformed Sec-WebSocket-Key", ErrNotWebSocket)
+	}
+	return nil
+}
+
+// headerContainsToken reports whether a comma-separated header contains the
+// token (case-insensitive).
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h[textproto.CanonicalMIMEHeaderKey(name)] {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ClientHandshake performs the client side of the upgrade over nc and
+// returns the client-side WebSocket connection. host and path populate the
+// request line and Host header.
+func ClientHandshake(nc net.Conn, host, path string) (*Conn, error) {
+	if path == "" {
+		path = "/"
+	}
+	keyRaw := make([]byte, 16)
+	if _, err := rand.Read(keyRaw); err != nil {
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw)
+
+	var req strings.Builder
+	req.WriteString("GET " + path + " HTTP/1.1\r\n")
+	req.WriteString("Host: " + host + "\r\n")
+	req.WriteString("Upgrade: websocket\r\n")
+	req.WriteString("Connection: Upgrade\r\n")
+	req.WriteString("Sec-WebSocket-Key: " + key + "\r\n")
+	req.WriteString("Sec-WebSocket-Version: 13\r\n\r\n")
+	if _, err := nc.Write([]byte(req.String())); err != nil {
+		return nil, err
+	}
+
+	br := bufio.NewReaderSize(nc, 4096)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		return nil, fmt.Errorf("%w: status %d", ErrBadHandshake, resp.StatusCode)
+	}
+	if got := resp.Header.Get("Sec-Websocket-Accept"); got != acceptKey(key) {
+		return nil, fmt.Errorf("%w: bad Sec-WebSocket-Accept", ErrBadHandshake)
+	}
+	return newConn(nc, br, false), nil
+}

@@ -1,0 +1,297 @@
+package websocket
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"migratorydata/internal/transport"
+)
+
+// pair returns a connected client/server WebSocket pair over an inproc pipe.
+func pair(t *testing.T) (client, server *Conn) {
+	t.Helper()
+	a, b := transport.NewPipe(
+		transport.Addr{Net: "inproc", Address: "ws-client"},
+		transport.Addr{Net: "inproc", Address: "ws-server"},
+	)
+	var wg sync.WaitGroup
+	var serr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, serr = ServerHandshake(b)
+	}()
+	c, cerr := ClientHandshake(a, "test", "/ws")
+	wg.Wait()
+	if cerr != nil || serr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cerr, serr)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		server.Close()
+	})
+	return c, server
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	client, server := pair(t)
+	msg := []byte("hello websocket")
+	if err := client.WriteMessage(OpBinary, msg); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err := server.ReadMessage()
+	if err != nil || op != OpBinary || !bytes.Equal(got, msg) {
+		t.Fatalf("server read: %v %q %v", op, got, err)
+	}
+	if err := server.WriteMessage(OpText, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err = client.ReadMessage()
+	if err != nil || op != OpText || string(got) != "reply" {
+		t.Fatalf("client read: %v %q %v", op, got, err)
+	}
+}
+
+func TestLargeMessageExtendedLength(t *testing.T) {
+	client, server := pair(t)
+	// >64KB forces the 8-byte extended length; >125 forces the 2-byte one.
+	for _, size := range []int{126, 65535, 65536, 1 << 20} {
+		msg := bytes.Repeat([]byte{byte(size)}, size)
+		// Write from a goroutine: messages larger than the pipe buffer
+		// need the reader draining concurrently.
+		writeErr := make(chan error, 1)
+		go func() { writeErr <- client.WriteMessage(OpBinary, msg) }()
+		_, got, err := server.ReadMessage()
+		if werr := <-writeErr; werr != nil {
+			t.Fatal(werr)
+		}
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("size %d: len(got)=%d err=%v", size, len(got), err)
+		}
+	}
+}
+
+func TestMaskingRoundTrip(t *testing.T) {
+	// Client→server frames are masked on the wire; verify the payload is
+	// still recovered exactly (the mask must not leak through).
+	client, server := pair(t)
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	client.WriteMessage(OpBinary, msg)
+	_, got, err := server.ReadMessage()
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("masked round trip failed: %v", err)
+	}
+}
+
+func TestPingAutoPong(t *testing.T) {
+	client, server := pair(t)
+	if err := client.WriteControl(OpPing, []byte("alive?")); err != nil {
+		t.Fatal(err)
+	}
+	// Server's next ReadMessage auto-pongs; give it a data message so the
+	// call returns.
+	go func() {
+		client.WriteMessage(OpBinary, []byte("data"))
+	}()
+	_, got, err := server.ReadMessage()
+	if err != nil || string(got) != "data" {
+		t.Fatalf("server read after ping: %q %v", got, err)
+	}
+	// Client should now find the pong transparently skipped too.
+	go server.WriteMessage(OpBinary, []byte("data2"))
+	_, got, err = client.ReadMessage()
+	if err != nil || string(got) != "data2" {
+		t.Fatalf("client read after pong: %q %v", got, err)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	client, server := pair(t)
+	go client.CloseWithCode(CloseGoingAway, "bye")
+	_, _, err := server.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CloseError", err)
+	}
+	if ce.Code != CloseGoingAway || ce.Reason != "bye" {
+		t.Fatalf("close = %d %q", ce.Code, ce.Reason)
+	}
+	if !strings.Contains(ce.Error(), "1001") {
+		t.Fatalf("CloseError.Error() = %q", ce.Error())
+	}
+}
+
+func TestServerRejectsUnmaskedClientFrame(t *testing.T) {
+	a, b := transport.NewPipe(
+		transport.Addr{Net: "inproc", Address: "c"},
+		transport.Addr{Net: "inproc", Address: "s"},
+	)
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var server *Conn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, _ = ServerHandshake(b)
+	}()
+	client, err := ClientHandshake(a, "test", "/")
+	wg.Wait()
+	if err != nil || server == nil {
+		t.Fatal("handshake failed")
+	}
+	// Forge an unmasked frame directly on the transport.
+	raw := appendFrameHeader(nil, true, OpBinary, false, [4]byte{}, 3)
+	raw = append(raw, "abc"...)
+	a.Write(raw)
+	if _, _, err := server.ReadMessage(); !errors.Is(err, ErrUnmaskedClient) {
+		t.Fatalf("err = %v, want ErrUnmaskedClient", err)
+	}
+	client.Close()
+	server.Close()
+}
+
+func TestControlFrameTooLong(t *testing.T) {
+	client, _ := pair(t)
+	if err := client.WriteControl(OpPing, make([]byte, 126)); !errors.Is(err, ErrControlTooLong) {
+		t.Fatalf("err = %v, want ErrControlTooLong", err)
+	}
+}
+
+func TestWriteMessageRejectsControlOpcode(t *testing.T) {
+	client, _ := pair(t)
+	if err := client.WriteMessage(OpPing, nil); err == nil {
+		t.Fatal("WriteMessage(OpPing) should fail")
+	}
+	if err := client.WriteControl(OpBinary, nil); err == nil {
+		t.Fatal("WriteControl(OpBinary) should fail")
+	}
+}
+
+func TestMaxMessageSize(t *testing.T) {
+	client, server := pair(t)
+	server.SetMaxMessageSize(10)
+	client.WriteMessage(OpBinary, make([]byte, 11))
+	if _, _, err := server.ReadMessage(); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("err = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+func TestAcceptKeyRFCVector(t *testing.T) {
+	// Known-answer test from RFC 6455 §1.3.
+	got := acceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("acceptKey = %q, want %q", got, want)
+	}
+}
+
+func TestHandshakeRejectsNonUpgrade(t *testing.T) {
+	a, b := transport.NewPipe(
+		transport.Addr{Net: "inproc", Address: "c"},
+		transport.Addr{Net: "inproc", Address: "s"},
+	)
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	if _, err := ServerHandshake(b); !errors.Is(err, ErrNotWebSocket) {
+		t.Fatalf("err = %v, want ErrNotWebSocket", err)
+	}
+}
+
+func TestHandshakeRejectsBadVersion(t *testing.T) {
+	a, b := transport.NewPipe(
+		transport.Addr{Net: "inproc", Address: "c"},
+		transport.Addr{Net: "inproc", Address: "s"},
+	)
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: AAAAAAAAAAAAAAAAAAAAAA==\r\nSec-WebSocket-Version: 8\r\n\r\n"))
+	if _, err := ServerHandshake(b); !errors.Is(err, ErrNotWebSocket) {
+		t.Fatalf("err = %v, want ErrNotWebSocket", err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	client, server := pair(t)
+	const writers = 4
+	const perWriter = 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := client.WriteMessage(OpBinary, []byte{byte(w)}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for received < writers*perWriter {
+			_, _, err := server.ReadMessage()
+			if err != nil {
+				t.Errorf("read %d: %v", received, err)
+				return
+			}
+			received++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if received != writers*perWriter {
+		t.Fatalf("received %d messages, want %d", received, writers*perWriter)
+	}
+}
+
+func BenchmarkEcho140B(b *testing.B) {
+	a, c := transport.NewPipe(
+		transport.Addr{Net: "inproc", Address: "c"},
+		transport.Addr{Net: "inproc", Address: "s"},
+	)
+	var server *Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, _ = ServerHandshake(c)
+	}()
+	client, err := ClientHandshake(a, "bench", "/")
+	wg.Wait()
+	if err != nil || server == nil {
+		b.Fatal("handshake failed")
+	}
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		for {
+			op, msg, err := server.ReadMessage()
+			if err != nil {
+				return
+			}
+			server.WriteMessage(op, msg)
+		}
+	}()
+	payload := make([]byte, 140)
+	b.SetBytes(140)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.WriteMessage(OpBinary, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := client.ReadMessage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"migratorydata/client"
+	"migratorydata/server"
+)
+
+var addrSeq int
+
+func addr(prefix string) string {
+	addrSeq++
+	return fmt.Sprintf("%s-%d", prefix, addrSeq)
+}
+
+func TestSingleServerLifecycle(t *testing.T) {
+	srv := server.New(server.Config{
+		ID: "lifecycle", ListenNetwork: "inproc", ListenAddr: addr("sv"),
+		IoThreads: 1, Workers: 1,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err == nil {
+		t.Fatal("second Start should fail")
+	}
+	if srv.Addr() == "" {
+		t.Fatal("no listener address")
+	}
+	if srv.ID() != "lifecycle" {
+		t.Fatalf("ID = %q", srv.ID())
+	}
+	if srv.Node() != nil {
+		t.Fatal("single-node server reports a cluster node")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+}
+
+func TestServerAttachOnly(t *testing.T) {
+	srv := server.New(server.Config{ID: "attach-only", IoThreads: 1, Workers: 1})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != "" {
+		t.Fatal("attach-only server should have no address")
+	}
+	if srv.Engine() == nil {
+		t.Fatal("no engine")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	a := addr("e2e")
+	srv := server.New(server.Config{
+		ID: "e2e", ListenNetwork: "inproc", ListenAddr: a,
+		IoThreads: 2, Workers: 2,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sub, err := client.New(client.Config{Servers: []string{a}, Network: "inproc", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.Subscribe("news")
+	time.Sleep(50 * time.Millisecond)
+
+	pub, err := client.New(client.Config{Servers: []string{a}, Network: "inproc", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := pub.Publish(ctx, "news", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-sub.Notifications():
+		if string(n.Payload) != "hello" {
+			t.Fatalf("payload = %q", n.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification")
+	}
+	if srv.Stats().Published != 1 {
+		t.Fatalf("stats = %+v", srv.Stats())
+	}
+}
+
+func TestClusterSpecValidation(t *testing.T) {
+	if _, err := server.NewCluster(server.ClusterSpec{}); err == nil {
+		t.Fatal("empty cluster spec must fail")
+	}
+	if _, err := server.NewCluster(server.ClusterSpec{
+		Members: []server.Config{{}},
+	}); err == nil {
+		t.Fatal("member without ID must fail")
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	a1, a2, a3 := addr("cl"), addr("cl"), addr("cl")
+	clu, err := server.NewCluster(server.ClusterSpec{
+		Members: []server.Config{
+			{ID: "A", ListenNetwork: "inproc", ListenAddr: a1, IoThreads: 1, Workers: 1, TopicGroups: 8},
+			{ID: "B", ListenNetwork: "inproc", ListenAddr: a2, IoThreads: 1, Workers: 1, TopicGroups: 8},
+			{ID: "C", ListenNetwork: "inproc", ListenAddr: a3, IoThreads: 1, Workers: 1, TopicGroups: 8},
+		},
+		SessionTTL: 300 * time.Millisecond,
+		TickEvery:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	if err := clu.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := client.New(client.Config{Servers: []string{a3}, Network: "inproc", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.Subscribe("cluster-topic")
+	time.Sleep(100 * time.Millisecond)
+
+	pub, err := client.New(client.Config{Servers: []string{a1}, Network: "inproc", Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := pub.Publish(ctx, "cluster-topic", []byte("x-node")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-sub.Notifications():
+		if string(n.Payload) != "x-node" {
+			t.Fatalf("payload = %q", n.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-node notification never arrived")
+	}
+}
