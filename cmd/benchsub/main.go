@@ -38,15 +38,13 @@ func main() {
 	for i := range topicNames {
 		topicNames[i] = fmt.Sprintf("%s-%d", *prefix, i)
 	}
-	var next int
 	attach := func(i int) (net.Conn, error) {
-		// Round-robin with failover skip: dial the next server that
-		// accepts (mirrors the client-side list of §5.1).
+		// Round-robin by connection index with failover skip: dial the
+		// next server that accepts (mirrors the client-side list of §5.1).
 		for try := 0; try < len(servers); try++ {
-			addr := servers[(i+next+try)%len(servers)]
+			addr := servers[(i+try)%len(servers)]
 			c, err := transport.Dial("tcp", strings.TrimSpace(addr))
 			if err == nil {
-				next++
 				return c, nil
 			}
 		}

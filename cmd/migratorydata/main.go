@@ -115,8 +115,18 @@ func main() {
 						"connections", st.Connections,
 						"published", st.Published,
 						"delivered", st.Delivered,
+						"deliver_events_routed", st.DeliverRouted,
+						"deliver_events_skipped", st.DeliverSkipped,
 						"gbps", fmt.Sprintf("%.3f", st.Gbps),
 						"cpu", fmt.Sprintf("%.1f%%", st.CPUUtilized*100))
+					if n := s.Node(); n != nil {
+						cs := n.Stats()
+						logger.Info("cluster-stats", "id", s.ID(),
+							"forwarded", cs.Forwarded,
+							"replicated", cs.Replicated,
+							"takeovers", cs.Takeovers,
+							"local_deliveries", cs.LocalDeliveries)
+					}
 				}
 			}
 		}()

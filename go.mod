@@ -1,0 +1,3 @@
+module migratorydata
+
+go 1.24

@@ -489,3 +489,30 @@ func waitCond(t *testing.T, timeout time.Duration, cond func() bool) {
 // Guard against unused imports in partial builds.
 var _ = errors.Is
 var _ = os.ErrDeadlineExceeded
+
+// TestLocalDeliveriesCountsOnlySubscriberNodes: with subscription-aware
+// routing, the replication fan-out enqueues deliver events only on members
+// that actually host subscribers for the topic; members that merely store
+// the replica report zero LocalDeliveries.
+func TestLocalDeliveriesCountsOnlySubscriberNodes(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	sub := attachTo(t, tc.nodes[0])
+	sub.subscribe(protocol.TopicPosition{Topic: "ld-topic"})
+
+	pub := attachTo(t, tc.nodes[1])
+	pub.publishReliable("ld-topic", []byte("x"))
+	sub.expectKind(protocol.KindNotify, 3*time.Second)
+
+	if got := tc.nodes[0].Stats().LocalDeliveries; got == 0 {
+		t.Fatal("subscriber's node reports zero LocalDeliveries")
+	}
+	// Node 2 has neither the publisher nor a subscriber: once the replicate
+	// has demonstrably landed in its cache, it still must not have enqueued
+	// any deliver event.
+	waitCond(t, 2*time.Second, func() bool {
+		return len(tc.nodes[2].Engine().Cache().Since("ld-topic", 0, 0, 0)) == 1
+	})
+	if got := tc.nodes[2].Stats().LocalDeliveries; got != 0 {
+		t.Fatalf("subscriber-less node reports %d LocalDeliveries, want 0", got)
+	}
+}

@@ -110,6 +110,11 @@ type nodeStats struct {
 	replicated metrics.Counter
 	takeovers  metrics.Counter
 	fences     metrics.Counter
+	// localDeliver counts the worker deliver events the sequencing and
+	// replication paths enqueued on this member's engine — with
+	// subscription-aware routing this is the member's real share of the
+	// cluster-wide fan-out, not publications × workers.
+	localDeliver metrics.Counter
 }
 
 // NewNode constructs a member wired to bus (engine traffic) and mesh
@@ -195,19 +200,21 @@ func (n *Node) CoordinatedGroups() []int32 {
 
 // ClusterStats is a snapshot of cluster-layer counters.
 type ClusterStats struct {
-	Forwarded  int64
-	Replicated int64
-	Takeovers  int64
-	Fences     int64
+	Forwarded       int64
+	Replicated      int64
+	Takeovers       int64
+	Fences          int64
+	LocalDeliveries int64
 }
 
 // Stats returns the cluster-layer counters.
 func (n *Node) Stats() ClusterStats {
 	return ClusterStats{
-		Forwarded:  n.stats.forwarded.Value(),
-		Replicated: n.stats.replicated.Value(),
-		Takeovers:  n.stats.takeovers.Value(),
-		Fences:     n.stats.fences.Value(),
+		Forwarded:       n.stats.forwarded.Value(),
+		Replicated:      n.stats.replicated.Value(),
+		Takeovers:       n.stats.takeovers.Value(),
+		Fences:          n.stats.fences.Value(),
+		LocalDeliveries: n.stats.localDeliver.Value(),
 	}
 }
 

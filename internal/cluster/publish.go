@@ -132,7 +132,7 @@ func (n *Node) sequenceAndReplicate(g int32, epoch uint32, from *core.Client, co
 		Payload:   m.Payload,
 	}
 	c.Append(m.Topic, entry)
-	n.engine.Deliver(m.Topic, entry)
+	n.stats.localDeliver.Add(int64(n.engine.DeliverGroup(int(g), m.Topic, entry)))
 	rep := &protocol.Message{
 		Kind:      protocol.KindReplicate,
 		ClientID:  n.id,
@@ -340,7 +340,12 @@ func (n *Node) handlePeer(from string, m *protocol.Message) {
 // (this is both the normal forward path and the §5.2.1 random-designate
 // election).
 func (n *Node) handleForward(from string, m *protocol.Message) {
-	g := m.Group
+	// Recompute the group from the topic name rather than trusting the
+	// wire-supplied m.Group: every downstream use (the group-lock index,
+	// the coordinator map, subscription-aware delivery routing) assumes a
+	// locally-derived group, and a peer with a skewed TopicGroups config
+	// must not be able to panic the lock lookup or skew delivery.
+	g := int32(n.engine.Cache().GroupOf(m.Topic))
 	n.mu.Lock()
 	epoch, mine := n.coordinated[g]
 	n.mu.Unlock()
@@ -381,8 +386,14 @@ func (n *Node) handleReplicate(from string, m *protocol.Message) {
 		Timestamp: m.Timestamp,
 		Payload:   m.Payload,
 	}
+	// Replication keeps every member's cache complete, but the fan-out
+	// below only touches workers with local subscribers for the topic —
+	// a member that merely stores the replica pays no delivery cost.
+	// Deliver (not DeliverGroup) on purpose: routing must key on the topic
+	// name alone, never on a wire-supplied group a buggy peer could skew,
+	// and Append above pays the topic hash anyway.
 	if n.engine.Cache().Append(m.Topic, entry) {
-		n.engine.Deliver(m.Topic, entry)
+		n.stats.localDeliver.Add(int64(n.engine.Deliver(m.Topic, entry)))
 	}
 	ack := &protocol.Message{
 		Kind: protocol.KindReplicateAck, ClientID: n.id,

@@ -24,7 +24,11 @@ type Client struct {
 	decoder protocol.StreamDecoder
 	batcher *batch.Batcher
 
-	// subs is owned by the Worker: topics this client subscribes to.
+	// subs is owned by the Worker: topics this client subscribes to. The
+	// Worker mirrors the empty↔non-empty transitions of its per-topic
+	// subscriber sets (which this map feeds on detach) into the engine's
+	// topic→worker delivery index, so the two must only ever be mutated
+	// together on the Worker loop.
 	subs map[string]struct{}
 
 	closed atomic.Bool

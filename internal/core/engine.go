@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"math/bits"
 	"net"
 	"runtime"
 	"sync"
@@ -105,6 +106,7 @@ type Engine struct {
 	ioThreads []*ioThread
 	workers   []*worker
 	cache     *cache.Cache
+	subIndex  *subIndex
 	publishFn PublishFunc
 	logger    *slog.Logger
 
@@ -127,6 +129,7 @@ type engineStats struct {
 	delivered     metrics.Counter
 	retransmitted metrics.Counter
 	connects      metrics.Counter
+	routing       metrics.RoutingCounters
 }
 
 // New constructs and starts an Engine: IoThread and Worker loops begin
@@ -136,6 +139,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:      cfg,
 		cache:    cache.New(cfg.TopicGroups, cfg.CacheCapacity),
+		subIndex: newSubIndex(cfg.TopicGroups, cfg.Workers),
 		clients:  make(map[uint64]*Client),
 		logger:   cfg.Logger,
 		tickStop: make(chan struct{}),
@@ -308,15 +312,60 @@ func (e *Engine) publish(from *Client, m *protocol.Message) {
 	e.publishFn(from, m)
 }
 
-// Deliver fans out a sequenced entry for topic to subscribers on every
-// worker. Callers must invoke Deliver in (epoch, seq) order per topic — the
+// Deliver fans out a sequenced entry for topic, routing via the
+// topic→worker index: the NOTIFY frame is encoded lazily and a deliver
+// event is enqueued only on the workers that have subscribers for the
+// topic. A publication to a topic with no subscribers anywhere costs no
+// queue traffic and no allocations; one with subscribers pinned to a
+// single worker costs exactly one push. It returns the number of worker
+// events enqueued.
+//
+// Callers must invoke Deliver in (epoch, seq) order per topic — the
 // sequencer and the cluster replication path both do so while holding the
 // topic-group lock.
-func (e *Engine) Deliver(topic string, entry cache.Entry) {
-	frame := protocol.Encode(notifyMessage(topic, entry, 0))
-	for _, w := range e.workers {
-		w.in.Push(workerEvent{kind: weDeliver, topic: topic, entry: entry, frame: frame})
+func (e *Engine) Deliver(topic string, entry cache.Entry) int {
+	return e.DeliverGroup(e.cache.GroupOf(topic), topic, entry)
+}
+
+// DeliverGroup is Deliver for callers that already know the topic's group —
+// the sequencer and the cluster paths compute it to take the group lock —
+// saving a redundant hash of the topic name on the publish hot path. An
+// out-of-range group falls back to hashing.
+func (e *Engine) DeliverGroup(group int, topic string, entry cache.Entry) int {
+	if group < 0 || group >= len(e.subIndex.shards) {
+		group = e.cache.GroupOf(topic)
 	}
+	sh := &e.subIndex.shards[group]
+	sh.mu.RLock()
+	wset := sh.topics[topic]
+	// Copy the bitmap so the shard is not held across encoding and queue
+	// pushes; stack storage covers 256 workers.
+	var local [4]uint64
+	var words []uint64
+	if len(wset) <= len(local) {
+		words = local[:len(wset)]
+	} else {
+		words = make([]uint64, len(wset))
+	}
+	copy(words, wset)
+	sh.mu.RUnlock()
+
+	routed := 0
+	var frame []byte
+	for wi, word := range words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			if frame == nil {
+				frame = protocol.Encode(notifyMessage(topic, entry, 0))
+			}
+			e.workers[wi*64+b].in.Push(workerEvent{kind: weDeliver, topic: topic, entry: entry, frame: frame})
+			routed++
+		}
+	}
+	e.stats.routing.Routed.Add(int64(routed))
+	e.stats.routing.Skipped.Add(int64(len(e.workers) - routed))
+	return routed
 }
 
 // Cache exposes the history cache (the cluster layer appends replicated
@@ -362,22 +411,29 @@ type Stats struct {
 	Published     int64
 	Delivered     int64
 	Retransmitted int64
-	BytesOut      int64
-	Gbps          float64
-	CPUUtilized   float64
+	// DeliverRouted counts worker deliver events enqueued; DeliverSkipped
+	// counts the pushes a broadcast fan-out would have made to workers with
+	// no subscriber for the topic (see metrics.RoutingCounters).
+	DeliverRouted  int64
+	DeliverSkipped int64
+	BytesOut       int64
+	Gbps           float64
+	CPUUtilized    float64
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Connections:   e.NumClients(),
-		Connects:      e.stats.connects.Value(),
-		Published:     e.stats.published.Value(),
-		Delivered:     e.stats.delivered.Value(),
-		Retransmitted: e.stats.retransmitted.Value(),
-		BytesOut:      e.traffic.Bytes(),
-		Gbps:          e.traffic.Gbps(),
-		CPUUtilized:   e.cpu.Utilization(),
+		Connections:    e.NumClients(),
+		Connects:       e.stats.connects.Value(),
+		Published:      e.stats.published.Value(),
+		Delivered:      e.stats.delivered.Value(),
+		Retransmitted:  e.stats.retransmitted.Value(),
+		DeliverRouted:  e.stats.routing.Routed.Value(),
+		DeliverSkipped: e.stats.routing.Skipped.Value(),
+		BytesOut:       e.traffic.Bytes(),
+		Gbps:           e.traffic.Gbps(),
+		CPUUtilized:    e.cpu.Utilization(),
 	}
 }
 

@@ -58,7 +58,7 @@ func (s *localSequencer) publish(from *Client, m *protocol.Message) {
 		Payload:   m.Payload,
 	}
 	s.engine.cache.Append(m.Topic, entry)
-	s.engine.Deliver(m.Topic, entry)
+	s.engine.DeliverGroup(g, m.Topic, entry)
 	s.locks[g].Unlock()
 
 	if from != nil && m.Flags&protocol.FlagAckRequired != 0 {

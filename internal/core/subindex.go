@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+
+	"migratorydata/internal/hashing"
+)
+
+// subIndex is the engine-level topic→worker-set index behind
+// subscription-aware delivery routing. Deliver consults it to enqueue a
+// deliver event only on the workers that have at least one subscriber for
+// the published topic, instead of broadcasting one event per worker: a
+// publication to a topic with no local subscribers costs zero queue traffic
+// and zero allocations, and one with subscribers pinned to a single worker
+// costs exactly one push. At the paper's scale (§4: millions of subscribers
+// spread over many topics) most topics have subscribers on a small subset
+// of workers, so this removes the dominant constant of the publish hot path.
+//
+// The index is sharded by the same topic-group hash the cache and the
+// cluster coordinator space use (Config.TopicGroups), so updates to topics
+// in different groups never contend. Within a shard each topic maps to a
+// bitmap of worker indices. The only writers are the workers themselves —
+// a worker sets its bit when it gains the first local subscriber of a topic
+// (subscribe) and clears it when it loses the last (unsubscribe/detach) —
+// so a given bit is mutated by a single goroutine; the shard RWMutex merely
+// orders those rare transition updates against concurrent Deliver lookups.
+type subIndex struct {
+	words  int // per-topic bitmap length: ceil(workers/64)
+	shards []subIndexShard
+}
+
+type subIndexShard struct {
+	mu     sync.RWMutex
+	topics map[string][]uint64
+}
+
+// newSubIndex returns an index for numWorkers workers sharded numShards
+// ways (one shard per topic group).
+func newSubIndex(numShards, numWorkers int) *subIndex {
+	x := &subIndex{
+		words:  (numWorkers + 63) / 64,
+		shards: make([]subIndexShard, numShards),
+	}
+	for i := range x.shards {
+		x.shards[i].topics = make(map[string][]uint64)
+	}
+	return x
+}
+
+// shardOf returns the shard owning topic (the topic's group).
+func (x *subIndex) shardOf(topic string) *subIndexShard {
+	return &x.shards[hashing.TopicGroup(topic, len(x.shards))]
+}
+
+// add marks worker as having at least one subscriber for topic. Called by
+// worker goroutines on the empty→non-empty transition of their local
+// subscriber set.
+func (x *subIndex) add(topic string, worker int) {
+	sh := x.shardOf(topic)
+	sh.mu.Lock()
+	wset := sh.topics[topic]
+	if wset == nil {
+		wset = make([]uint64, x.words)
+		sh.topics[topic] = wset
+	}
+	wset[worker>>6] |= 1 << (worker & 63)
+	sh.mu.Unlock()
+}
+
+// remove clears worker's bit for topic, dropping the topic's entry when no
+// worker has subscribers left. Called by worker goroutines on the
+// non-empty→empty transition of their local subscriber set.
+func (x *subIndex) remove(topic string, worker int) {
+	sh := x.shardOf(topic)
+	sh.mu.Lock()
+	if wset := sh.topics[topic]; wset != nil {
+		wset[worker>>6] &^= 1 << (worker & 63)
+		empty := true
+		for _, w := range wset {
+			if w != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			delete(sh.topics, topic)
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// contains reports whether worker is indexed for topic.
+func (x *subIndex) contains(topic string, worker int) bool {
+	sh := x.shardOf(topic)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	wset := sh.topics[topic]
+	return wset != nil && wset[worker>>6]&(1<<(worker&63)) != 0
+}
+
+// snapshot returns topic → sorted worker indices for every indexed topic
+// (test and debugging support).
+func (x *subIndex) snapshot() map[string][]int {
+	out := make(map[string][]int)
+	for i := range x.shards {
+		sh := &x.shards[i]
+		sh.mu.RLock()
+		for topic, wset := range sh.topics {
+			var workers []int
+			for wi, word := range wset {
+				for b := 0; b < 64; b++ {
+					if word&(1<<b) != 0 {
+						workers = append(workers, wi*64+b)
+					}
+				}
+			}
+			if len(workers) > 0 {
+				out[topic] = workers
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -22,6 +22,9 @@ const (
 	weDetach
 	// weTick drives conflation flushing.
 	weTick
+	// weFunc runs a closure on the worker loop (introspection and tests:
+	// worker-owned state can be read without races only from here).
+	weFunc
 )
 
 // workerEvent is one unit of Worker work.
@@ -32,6 +35,15 @@ type workerEvent struct {
 	topic string
 	entry cache.Entry
 	frame []byte // pre-encoded NOTIFY frame shared across workers
+	fn    func() // weFunc payload
+}
+
+// conflated couples a cache entry with the NOTIFY frame encoded for it at
+// Deliver time, so a single-message conflation aggregate can be re-sent
+// without re-encoding.
+type conflated struct {
+	entry cache.Entry
+	frame []byte
 }
 
 // worker is one logic-layer thread (paper §4): it owns subscription
@@ -43,11 +55,14 @@ type worker struct {
 	in     *queue.MPSC[workerEvent]
 	engine *Engine
 
-	// subsByTopic maps a topic to this worker's subscribers.
+	// subsByTopic maps a topic to this worker's subscribers. Its
+	// empty↔non-empty transitions are mirrored into the engine's
+	// topic→worker index, which is what lets Engine.Deliver skip this
+	// worker entirely for topics with no local subscribers.
 	subsByTopic map[string]map[*Client]struct{}
 
 	// conflator aggregates per-topic deliveries when conflation is on.
-	conflator *batch.Conflator[cache.Entry]
+	conflator *batch.Conflator[conflated]
 }
 
 func newWorker(index int, e *Engine) *worker {
@@ -56,7 +71,7 @@ func newWorker(index int, e *Engine) *worker {
 		in:          queue.NewMPSC[workerEvent](),
 		engine:      e,
 		subsByTopic: make(map[string]map[*Client]struct{}),
-		conflator:   batch.NewConflator[cache.Entry](e.cfg.ConflationInterval, nil),
+		conflator:   batch.NewConflator[conflated](e.cfg.ConflationInterval, nil),
 	}
 }
 
@@ -88,7 +103,24 @@ func (w *worker) handle(ev *workerEvent) {
 		w.detach(ev.c)
 	case weTick:
 		w.flushConflated()
+	case weFunc:
+		ev.fn()
 	}
+}
+
+// do runs fn on the worker loop and waits for it to complete, reporting
+// false without running fn if the worker has shut down. Tests use it to
+// inspect worker-owned state (subsByTopic, conflator) without races.
+func (w *worker) do(fn func()) bool {
+	done := make(chan struct{})
+	if !w.in.Push(workerEvent{kind: weFunc, fn: func() {
+		defer close(done)
+		fn()
+	}}) {
+		return false
+	}
+	<-done
+	return true
 }
 
 func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
@@ -136,6 +168,8 @@ func (w *worker) subscribe(c *Client, m *protocol.Message) {
 		if set == nil {
 			set = make(map[*Client]struct{})
 			w.subsByTopic[tp.Topic] = set
+			// First local subscriber: make Deliver route to this worker.
+			w.engine.subIndex.add(tp.Topic, w.index)
 		}
 		set[c] = struct{}{}
 		c.subs[tp.Topic] = struct{}{}
@@ -155,20 +189,29 @@ func (w *worker) subscribe(c *Client, m *protocol.Message) {
 
 func (w *worker) unsubscribe(c *Client, m *protocol.Message) {
 	for _, tp := range m.Topics {
-		if set := w.subsByTopic[tp.Topic]; set != nil {
-			delete(set, c)
-			if len(set) == 0 {
-				delete(w.subsByTopic, tp.Topic)
-			}
-		}
+		w.dropSub(c, tp.Topic)
 		delete(c.subs, tp.Topic)
+	}
+}
+
+// dropSub removes c from topic's local subscriber set, de-indexing this
+// worker on the last-subscriber transition.
+func (w *worker) dropSub(c *Client, topic string) {
+	set := w.subsByTopic[topic]
+	if set == nil {
+		return
+	}
+	delete(set, c)
+	if len(set) == 0 {
+		delete(w.subsByTopic, topic)
+		w.engine.subIndex.remove(topic, w.index)
 	}
 }
 
 // deliver fans a sequenced publication out to this worker's subscribers.
 func (w *worker) deliver(topic string, e cache.Entry, frame []byte) {
 	if w.engine.cfg.ConflationInterval > 0 {
-		if _, emit := w.conflator.Offer(time.Now(), topic, e); !emit {
+		if _, emit := w.conflator.Offer(time.Now(), topic, conflated{entry: e, frame: frame}); !emit {
 			return
 		}
 	}
@@ -183,31 +226,32 @@ func (w *worker) fanOut(topic string, frame []byte) {
 	}
 	for c := range set {
 		c.SendFrame(frame)
-		w.engine.stats.delivered.Inc()
 	}
+	w.engine.stats.delivered.Add(int64(len(set)))
 }
 
 // flushConflated emits due conflation aggregates.
 func (w *worker) flushConflated() {
 	for _, agg := range w.conflator.Drain(time.Now()) {
-		e := agg.Value
-		flags := e.Flags
-		if agg.Count > 1 {
-			flags |= protocol.FlagConflated
-		}
-		w.fanOut(agg.Topic, protocol.Encode(notifyMessage(agg.Topic, e, flags)))
+		w.fanOut(agg.Topic, aggregateFrame(agg))
 	}
+}
+
+// aggregateFrame returns the wire frame for one conflation aggregate. A
+// single-message aggregate needs no FlagConflated bit, so the NOTIFY frame
+// already encoded at Deliver time is byte-identical and is reused instead
+// of re-encoding.
+func aggregateFrame(agg batch.Conflated[conflated]) []byte {
+	if agg.Count == 1 {
+		return agg.Value.frame
+	}
+	return protocol.Encode(notifyMessage(agg.Topic, agg.Value.entry, protocol.FlagConflated))
 }
 
 // detach removes all of the client's subscriptions.
 func (w *worker) detach(c *Client) {
 	for topic := range c.subs {
-		if set := w.subsByTopic[topic]; set != nil {
-			delete(set, c)
-			if len(set) == 0 {
-				delete(w.subsByTopic, topic)
-			}
-		}
+		w.dropSub(c, topic)
 	}
 	c.subs = make(map[string]struct{})
 }

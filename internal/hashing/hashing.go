@@ -6,21 +6,33 @@
 package hashing
 
 import (
-	"hash/fnv"
 	"math/rand"
+)
+
+// FNV-1a parameters (identical to hash/fnv; inlined so the hot paths hash
+// without allocating a hash.Hash or copying the string to a byte slice).
+const (
+	fnv32Offset = 2166136261
+	fnv32Prime  = 16777619
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
 )
 
 // TopicGroup maps a topic name onto one of n topic groups. The paper notes a
 // typical installation uses 100 groups; both the cache (per-group locks) and
 // the cluster layer (per-group coordinators) rely on this mapping being
 // stable across servers, so it must be a pure function of the topic name.
+// It is called on every publication, so it must not allocate.
 func TopicGroup(topic string, n int) int {
 	if n <= 0 {
 		return 0
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(topic))
-	return int(h.Sum32() % uint32(n))
+	h := uint32(fnv32Offset)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= fnv32Prime
+	}
+	return int(h % uint32(n))
 }
 
 // ClientShard maps a client identifier (typically its remote address) onto
@@ -31,9 +43,12 @@ func ClientShard(clientID string, n int) int {
 	if n <= 0 {
 		return 0
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(clientID))
-	return int(h.Sum64() % uint64(n))
+	h := uint64(fnv64Offset)
+	for i := 0; i < len(clientID); i++ {
+		h ^= uint64(clientID[i])
+		h *= fnv64Prime
+	}
+	return int(h % uint64(n))
 }
 
 // WeightedChoice selects an index in [0, len(weights)) with probability

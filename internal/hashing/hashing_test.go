@@ -2,6 +2,7 @@ package hashing
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -152,5 +153,35 @@ func BenchmarkTopicGroup(b *testing.B) {
 func BenchmarkClientShard(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ClientShard("203.0.113.54:49152", 16)
+	}
+}
+
+// The inlined FNV-1a loops must produce the same mapping as the hash/fnv
+// implementation they replaced: the cluster layer relies on every server
+// (of any build) agreeing on topic→group assignments.
+func TestHashesMatchStdlibFNV(t *testing.T) {
+	f := func(s string) bool {
+		h32 := fnv.New32a()
+		h32.Write([]byte(s))
+		if TopicGroup(s, 100) != int(h32.Sum32()%100) {
+			return false
+		}
+		h64 := fnv.New64a()
+		h64.Write([]byte(s))
+		return ClientShard(s, 16) == int(h64.Sum64()%16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TopicGroup runs on every publication; it must not allocate.
+func TestTopicGroupZeroAllocs(t *testing.T) {
+	topic := "stocks/NYSE/ABC"
+	if allocs := testing.AllocsPerRun(100, func() { TopicGroup(topic, 100) }); allocs != 0 {
+		t.Fatalf("TopicGroup allocates %v times per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { ClientShard(topic, 16) }); allocs != 0 {
+		t.Fatalf("ClientShard allocates %v times per call", allocs)
 	}
 }

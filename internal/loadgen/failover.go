@@ -106,10 +106,9 @@ func RunFailover(cfg FailoverConfig) (FailoverResult, error) {
 	// publisher is pinned to member 0 (a survivor), mirroring the paper's
 	// Benchpub on the fourth machine.
 	hist := &metrics.Histogram{}
-	topics := sc.TopicNames()
 	bs, err := StartBenchsub(SubConfig{
 		Connections: sc.Subscribers,
-		Topics:      topics,
+		Topics:      sc.TopicNames(),
 		Attach:      MultiEngineAttach(engines, sc.PipeBuffer),
 		Histogram:   hist,
 		Failover:    true,
@@ -120,7 +119,7 @@ func RunFailover(cfg FailoverConfig) (FailoverResult, error) {
 	}
 	defer bs.Close()
 	bp, err := StartBenchpub(PubConfig{
-		Topics:      topics,
+		Topics:      sc.PublishTopicNames(),
 		Interval:    sc.PublishInterval,
 		PayloadSize: sc.PayloadSize,
 		Attach:      SingleEngineAttach(engines[0], sc.PipeBuffer),

@@ -23,6 +23,11 @@ type Scenario struct {
 	PublishInterval time.Duration // default 1s per topic
 	Warmup          time.Duration // default 2s
 	Measure         time.Duration // default 10s
+	// ColdTopics adds topics that the publisher updates but nobody
+	// subscribes to — the sparse-subscription workload (many topics,
+	// subscribers concentrated on few workers). With subscription-aware
+	// routing a cold publication enqueues no worker events at all.
+	ColdTopics int
 	// PipeBuffer sizes the in-process connection buffers. Default 2048.
 	PipeBuffer int
 	// TopicPrefix names the topics (prefix-0 .. prefix-N). Default "topic".
@@ -64,11 +69,21 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
-// TopicNames materializes the scenario's topic list.
+// TopicNames materializes the scenario's subscribed topic list.
 func (s Scenario) TopicNames() []string {
 	out := make([]string, s.Topics)
 	for i := range out {
 		out[i] = fmt.Sprintf("%s-%d", s.TopicPrefix, i)
+	}
+	return out
+}
+
+// PublishTopicNames materializes the publisher's topic list: the subscribed
+// topics followed by the ColdTopics nobody listens to.
+func (s Scenario) PublishTopicNames() []string {
+	out := s.TopicNames()
+	for i := 0; i < s.ColdTopics; i++ {
+		out = append(out, fmt.Sprintf("%s-cold-%d", s.TopicPrefix, i))
 	}
 	return out
 }
@@ -87,6 +102,11 @@ type Result struct {
 	Recovered   int64
 	Reconnects  int64
 	Gaps        int64
+	// DeliverRouted/DeliverSkipped snapshot the engine's routing counters:
+	// worker deliver events enqueued vs. avoided relative to a broadcast
+	// fan-out (cumulative over the run, warm-up included).
+	DeliverRouted  int64
+	DeliverSkipped int64
 }
 
 // Row formats the result like a row of Table 1 (latencies in ms).
@@ -149,10 +169,7 @@ func MultiEngineAttach(engines []*core.Engine, pipeBuffer int) AttachFunc {
 func RunScenario(e *core.Engine, sc Scenario) (Result, error) {
 	sc = sc.withDefaults()
 	attach := SingleEngineAttach(e, sc.PipeBuffer)
-	return runWith(sc, attach, attach, func() (float64, float64) {
-		st := e.Stats()
-		return st.CPUUtilized, st.Gbps
-	}, func() { e.ResetMeters() })
+	return runWith(sc, attach, attach, e.Stats, func() { e.ResetMeters() })
 }
 
 // StartScenarioMulti starts the benchmark tools against several engines
@@ -168,13 +185,12 @@ func StartScenarioMulti(engines []*core.Engine, sc Scenario) (*Benchsub, *Benchp
 
 // runWith is the single-engine scenario driver.
 func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
-	meters func() (cpu, gbps float64), resetMeters func()) (Result, error) {
+	meters func() core.Stats, resetMeters func()) (Result, error) {
 
 	hist := &metrics.Histogram{}
-	topics := sc.TopicNames()
 	bs, err := StartBenchsub(SubConfig{
 		Connections: sc.Subscribers,
-		Topics:      topics,
+		Topics:      sc.TopicNames(),
 		Attach:      subAttach,
 		Histogram:   hist,
 		Failover:    sc.Failover,
@@ -186,7 +202,7 @@ func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
 	defer bs.Close()
 
 	bp, err := StartBenchpub(PubConfig{
-		Topics:      topics,
+		Topics:      sc.PublishTopicNames(),
 		Interval:    sc.PublishInterval,
 		PayloadSize: sc.PayloadSize,
 		Attach:      pubAttach,
@@ -203,30 +219,31 @@ func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
 	receivedBefore := bs.Received()
 	time.Sleep(sc.Measure)
 	bs.StopRecording()
-	cpu, gbps := meters()
+	st := meters()
 	received := bs.Received() - receivedBefore
 
 	return Result{
-		Subscribers: sc.Subscribers,
-		Topics:      sc.Topics,
-		Latency:     hist.Snapshot(),
-		CPU:         cpu,
-		Gbps:        gbps,
-		MsgsPerSec:  float64(received) / sc.Measure.Seconds(),
-		Received:    bs.Received(),
-		Recovered:   bs.Recovered(),
-		Reconnects:  bs.Reconnects(),
-		Gaps:        bs.Gaps(),
+		Subscribers:    sc.Subscribers,
+		Topics:         sc.Topics,
+		Latency:        hist.Snapshot(),
+		CPU:            st.CPUUtilized,
+		Gbps:           st.Gbps,
+		MsgsPerSec:     float64(received) / sc.Measure.Seconds(),
+		Received:       bs.Received(),
+		Recovered:      bs.Recovered(),
+		Reconnects:     bs.Reconnects(),
+		Gaps:           bs.Gaps(),
+		DeliverRouted:  st.DeliverRouted,
+		DeliverSkipped: st.DeliverSkipped,
 	}, nil
 }
 
 // startScenario starts the tools without driving the measurement phases.
 func startScenario(sc Scenario, subAttach, pubAttach AttachFunc) (*Benchsub, *Benchpub, error) {
 	hist := &metrics.Histogram{}
-	topics := sc.TopicNames()
 	bs, err := StartBenchsub(SubConfig{
 		Connections: sc.Subscribers,
-		Topics:      topics,
+		Topics:      sc.TopicNames(),
 		Attach:      subAttach,
 		Histogram:   hist,
 		Failover:    sc.Failover,
@@ -236,7 +253,7 @@ func startScenario(sc Scenario, subAttach, pubAttach AttachFunc) (*Benchsub, *Be
 		return nil, nil, err
 	}
 	bp, err := StartBenchpub(PubConfig{
-		Topics:      topics,
+		Topics:      sc.PublishTopicNames(),
 		Interval:    sc.PublishInterval,
 		PayloadSize: sc.PayloadSize,
 		Attach:      pubAttach,

@@ -191,3 +191,42 @@ func TestBenchsubFailoverResumes(t *testing.T) {
 		t.Fatalf("gaps after failover = %d, want 0 (completeness)", bs.Gaps())
 	}
 }
+
+// TestSparseScenarioSkipsColdTopics drives the sparse-subscription workload
+// (many published topics, few with subscribers): cold-topic publications
+// must produce far more skipped than routed worker events, while delivery
+// to the hot topics stays complete and in order.
+func TestSparseScenarioSkipsColdTopics(t *testing.T) {
+	e := core.New(core.Config{ServerID: "sparse", IoThreads: 2, Workers: 8, TopicGroups: 16})
+	defer e.Close()
+	res, err := RunScenario(e, Scenario{
+		Subscribers:     8,
+		Topics:          4,
+		ColdTopics:      60,
+		PayloadSize:     64,
+		PublishInterval: 50 * time.Millisecond,
+		Warmup:          300 * time.Millisecond,
+		Measure:         700 * time.Millisecond,
+		TopicPrefix:     "sparse",
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gaps != 0 {
+		t.Fatalf("gaps = %d", res.Gaps)
+	}
+	if res.Received == 0 {
+		t.Fatal("hot topics delivered nothing")
+	}
+	if res.DeliverRouted == 0 {
+		t.Fatal("no deliver events routed")
+	}
+	// 60 of 64 published topics have no subscribers at all, and the 4 hot
+	// topics' subscribers occupy at most 8 workers, so the broadcast events
+	// avoided must dominate the ones enqueued.
+	if res.DeliverSkipped <= res.DeliverRouted {
+		t.Fatalf("skipped = %d, routed = %d: sparse workload should skip most worker pushes",
+			res.DeliverSkipped, res.DeliverRouted)
+	}
+}

@@ -21,6 +21,18 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// RoutingCounters tracks subscription-aware delivery routing. Routed counts
+// deliver events actually enqueued to workers ("deliver_events_routed");
+// Skipped counts worker pushes avoided because the worker had no subscriber
+// for the published topic ("deliver_events_skipped"). Routed+Skipped equals
+// publications × workers — what a broadcast fan-out would have enqueued —
+// so Skipped/(Routed+Skipped) is the fraction of that queue traffic the
+// topic→worker index eliminated.
+type RoutingCounters struct {
+	Routed  Counter
+	Skipped Counter
+}
+
 // TrafficMeter accumulates byte counts and converts them to the Gbps figures
 // the paper reports for outgoing notification traffic (Table 1). Start opens
 // a measurement window; Gbps reports the rate within the current window, so

@@ -32,12 +32,14 @@ func NewMPSC[T any]() *MPSC[T] {
 }
 
 // Push appends item and wakes the consumer. Push on a closed queue drops the
-// item: the consumer is gone, so there is nobody to deliver to.
-func (q *MPSC[T]) Push(item T) {
+// item and reports false: the consumer is gone, so there is nobody to
+// deliver to. An accepted item is guaranteed to be consumed — PopWait drains
+// everything enqueued before Close.
+func (q *MPSC[T]) Push(item T) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	q.adoptSpareLocked()
 	wasEmpty := len(q.items) == 0
@@ -46,6 +48,7 @@ func (q *MPSC[T]) Push(item T) {
 	if wasEmpty {
 		q.cond.Signal()
 	}
+	return true
 }
 
 // adoptSpareLocked moves a recycled backing array into service when the
