@@ -475,6 +475,67 @@ func (p *benchPublisher) publishAndWait(b *testing.B, topic string) {
 	}
 }
 
+// BenchmarkClusterSparseForward measures cluster-wide interest-aware
+// delivery — the cross-node analogue of BenchmarkSparseFanout. Both runs
+// drive the same workload into a 3-member cluster; they differ only in
+// subscriber placement. "sparse" concentrates every subscriber on member 0
+// while the publisher sits on member 1: the coordinators learn from the
+// gossiped interest digests that the remaining member has no subscribers in
+// the active topic groups and downgrade its replicas to metadata-only
+// frames — payload forwards to uninterested members drop to ~0, visible as
+// cluster_payloads_suppressed ("suppressed/msg" > 0, roughly one of the two
+// remote copies per publication net of the quorum top-up). "dense-baseline"
+// spreads subscribers over all members: every member is interested, nothing
+// is suppressed, and the delivered-message count is unchanged relative to
+// an interest-blind broadcast.
+func BenchmarkClusterSparseForward(b *testing.B) {
+	run := func(b *testing.B, subscriberNodes []int, wantSuppression bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := loadgen.RunClusterScenario(loadgen.ClusterScenario{
+				Scenario: loadgen.Scenario{
+					Subscribers:     300,
+					Topics:          10,
+					PayloadSize:     140,
+					PublishInterval: 100 * time.Millisecond,
+					Warmup:          1500 * time.Millisecond,
+					Measure:         2 * time.Second,
+					TopicPrefix:     "csf",
+					Seed:            11,
+				},
+				Members:           3,
+				SubscriberNodes:   subscriberNodes,
+				PublisherNode:     1,
+				Engine:            core.Config{TopicGroups: 100},
+				SessionTTL:        500 * time.Millisecond,
+				OpTimeout:         2 * time.Second,
+				InterestSyncEvery: 100 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Gaps != 0 {
+				b.Fatalf("ordering/completeness violated: %d gaps", res.Gaps)
+			}
+			msgs := float64(res.PayloadsForwarded + res.PayloadsSuppressed)
+			if msgs > 0 {
+				b.ReportMetric(float64(res.PayloadsForwarded)/msgs*2, "payload-fwd/msg")
+				b.ReportMetric(float64(res.PayloadsSuppressed)/msgs*2, "suppressed/msg")
+			}
+			b.ReportMetric(res.MsgsPerSec, "delivered-msgs/s")
+			b.ReportMetric(res.Latency.Mean, "lat-mean-ms")
+			if wantSuppression && res.PayloadsSuppressed == 0 {
+				b.Errorf("sparse run suppressed no payloads (forwarded %d)", res.PayloadsForwarded)
+			}
+			if !wantSuppression && res.PayloadsSuppressed != 0 {
+				b.Errorf("dense baseline suppressed %d payloads, want 0", res.PayloadsSuppressed)
+			}
+		}
+	}
+	b.Run("sparse", func(b *testing.B) { run(b, []int{0}, true) })
+	b.Run("dense-baseline", func(b *testing.B) { run(b, nil, false) })
+}
+
 // BenchmarkSparseFanout measures subscription-aware delivery routing on the
 // workload the paper's fan-out stage cares about: many topics, subscribers
 // concentrated on few workers. The engine runs 8 workers; "one-worker" has

@@ -125,7 +125,9 @@ func main() {
 							"forwarded", cs.Forwarded,
 							"replicated", cs.Replicated,
 							"takeovers", cs.Takeovers,
-							"local_deliveries", cs.LocalDeliveries)
+							"local_deliveries", cs.LocalDeliveries,
+							"cluster_payloads_forwarded", cs.PayloadsForwarded,
+							"cluster_payloads_suppressed", cs.PayloadsSuppressed)
 					}
 				}
 			}

@@ -7,14 +7,32 @@
 //   - migratorydata/server — the notification server: the vertically
 //     scalable single-node engine (IoThreads + Workers + sharded history
 //     cache, paper §4) and the replicated cluster (coordinator-based total
-//     ordering, replication, failure recovery, paper §5).
+//     ordering, replication with interest-aware payload tiering, failure
+//     recovery, paper §5).
 //   - migratorydata/client — the client SDK: topic subscription with
 //     ordered delivery, missed-message recovery on reconnection, server
 //     blacklisting with truncated exponential back-off, duplicate
 //     filtering, and at-least-once publication (paper §3, §5.2.3).
 //
-// The benchmark harness regenerating every table and figure of the paper's
-// evaluation is in bench_test.go (go test -bench .) and the cmd/bench-*
-// tools. See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// Everything else is internal:
+//
+//   - internal/core — the two-layer engine with fixed client→thread
+//     pinning and the topic→worker delivery index;
+//   - internal/cluster — coordinators, tiered replication driven by
+//     gossiped interest digests, partition fencing, cache recovery;
+//   - internal/coord and internal/consensus — the ZooKeeper-equivalent
+//     coordination service on a Raft-style replicated log;
+//   - internal/protocol, internal/cache, internal/batch, internal/queue,
+//     internal/websocket, internal/transport, internal/hashing,
+//     internal/backoff, internal/dedup — the wire format, history cache,
+//     batching/conflation, queues, and transports under the engine;
+//   - internal/loadgen and internal/metrics — the paper's Benchpub and
+//     Benchsub tools as a library, plus the measurement machinery.
+//
+// The documentation set under docs/ maps the code to the paper:
+// docs/ARCHITECTURE.md (layer diagram, pinning rule, package→section
+// table), docs/PROTOCOL.md (byte-level wire format and the (epoch, seq)
+// ordering contract), and docs/BENCHMARKS.md (how to reproduce the
+// evaluation). The benchmark harness regenerating every table and figure
+// is bench_test.go (go test -bench .) and the cmd/bench-* tools.
 package migratorydata

@@ -1,0 +1,78 @@
+package migratorydata_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Good enough for the
+// plain links these docs use; reference-style links are not used here.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve walks the repository's markdown documentation and
+// verifies that every relative link points at a file that exists, so moved
+// or renamed docs cannot rot silently. CI runs it in the docs job.
+func TestDocLinksResolve(t *testing.T) {
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		match, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, match...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked to keep CI hermetic
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment link
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found; the README must at least link docs/")
+	}
+}
+
+// TestDocsExist pins the documentation set the repository promises: the
+// architecture map, the wire-format specification, and the benchmark
+// runbook, each non-trivially sized and linked from the README.
+func TestDocsExist(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/PROTOCOL.md", "docs/BENCHMARKS.md"} {
+		st, err := os.Stat(doc)
+		if err != nil {
+			t.Errorf("missing %s: %v", doc, err)
+			continue
+		}
+		if st.Size() < 1024 {
+			t.Errorf("%s is implausibly small (%d bytes)", doc, st.Size())
+		}
+		if !strings.Contains(string(readme), doc) {
+			t.Errorf("README.md does not link %s", doc)
+		}
+	}
+}

@@ -4,6 +4,14 @@
 // coordination service, lazily-maintained gossip maps, replication with
 // acknowledgement after two copies, coordinator takeover with epoch
 // increments, partition self-fencing, and cache reconstruction.
+//
+// On top of the paper's protocol, replication is interest-aware: members
+// gossip per-topic-group interest digests derived from their subscription
+// indexes, and a coordinator ships full payloads only to members with
+// subscribers in the topic's group (plus what the replication degree
+// requires), downgrading the rest to metadata-only frames. Members whose
+// payloads were suppressed repair their caches through buffered catch-ups
+// when interest returns — see interest.go and docs/ARCHITECTURE.md.
 package cluster
 
 import (
@@ -17,6 +25,12 @@ import (
 type PeerFrame struct {
 	From string
 	Msg  *protocol.Message
+
+	// run, when non-nil, is a node-local control event: the dispatcher
+	// executes it instead of handling a message. Never sent over the bus —
+	// nodes push it into their own inbox to serialize work (e.g. the
+	// completion of an interest resync) with peer-frame processing.
+	run func()
 }
 
 // Bus is the in-process server↔server transport. Like the paper's cluster

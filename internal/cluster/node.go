@@ -35,6 +35,11 @@ type Config struct {
 	PartitionGrace time.Duration
 	// CatchupTimeout bounds cache-reconstruction waits. Default 3s.
 	CatchupTimeout time.Duration
+	// InterestSyncEvery is the anti-entropy period for the interest digest:
+	// how often each member re-broadcasts its full per-topic-group interest
+	// bitmap, repairing peer views after membership changes or missed
+	// deltas. Default 1s.
+	InterestSyncEvery time.Duration
 	// AckCopies is the number of servers that must hold a publication
 	// before its publisher is acknowledged. The paper's production value
 	// is 2 (coordinator + one replica), tolerating one fault; §5.2 notes
@@ -71,6 +76,12 @@ type catchupState struct {
 	remaining atomic.Int32
 }
 
+// tierBufs is one group's reusable peer-classification scratch for the
+// replication tier split (see sequenceAndReplicate).
+type tierBufs struct {
+	payload, meta []string
+}
+
 // Node is one MigratoryData cluster member: an engine for its share of the
 // subscribers, a coordination-service replica, and the replication logic.
 type Node struct {
@@ -90,8 +101,25 @@ type Node struct {
 	pendingFwd  map[string]*pendingPub
 	pendingAck  map[string]*pendingPub
 	catchups    map[string]*catchupState
+	// unsynced flags groups whose cache is a stale prefix of the stream
+	// (payloads were suppressed by interest routing, or a partition was
+	// detected); resyncing holds the in-flight repairs with their parked
+	// replication frames. Each mark carries a generation stamp (staleSeq)
+	// so recovery paths that run off the dispatcher can clear exactly the
+	// staleness they repaired — a re-mark during the repair changes the
+	// stamp and survives the clear.
+	unsynced  map[int32]uint64
+	staleSeq  uint64
+	resyncing map[int32]*resyncState
+
+	// interest is the local digest and the per-peer views (interest.go).
+	interest interestState
 
 	groupLocks []sync.Mutex
+	// tierScratch holds per-group reusable peer-classification buffers for
+	// the replication tier split, guarded by the matching groupLocks entry
+	// — the hot path allocates nothing for them.
+	tierScratch []tierBufs
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -100,6 +128,11 @@ type Node struct {
 	stopped atomic.Bool
 	bgStop  chan struct{}
 	wg      sync.WaitGroup
+	// resyncWG tracks interest-resync goroutines. Separate from wg because
+	// their Add happens under n.mu together with a stopped check (see
+	// startResync), which Stop's barrier pairs with; wg's count, by
+	// contrast, only moves at construction time.
+	resyncWG sync.WaitGroup
 
 	stats nodeStats
 }
@@ -115,6 +148,10 @@ type nodeStats struct {
 	// subscription-aware routing this is the member's real share of the
 	// cluster-wide fan-out, not publications × workers.
 	localDeliver metrics.Counter
+	// payloads counts this member's coordinator-side replication tiering:
+	// full payload replicas sent vs. replicas downgraded to metadata-only
+	// frames because the peer had no subscriber in the topic's group.
+	payloads metrics.PayloadCounters
 }
 
 // NewNode constructs a member wired to bus (engine traffic) and mesh
@@ -133,6 +170,9 @@ func NewNode(cfg Config, bus *Bus, mesh *consensus.Mesh) *Node {
 	if cfg.AckCopies <= 0 {
 		cfg.AckCopies = 2
 	}
+	if cfg.InterestSyncEvery <= 0 {
+		cfg.InterestSyncEvery = time.Second
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -148,6 +188,8 @@ func NewNode(cfg Config, bus *Bus, mesh *consensus.Mesh) *Node {
 		pendingFwd:  make(map[string]*pendingPub),
 		pendingAck:  make(map[string]*pendingPub),
 		catchups:    make(map[string]*catchupState),
+		unsynced:    make(map[int32]uint64),
+		resyncing:   make(map[int32]*resyncState),
 		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
 		bgStop:      make(chan struct{}),
 	}
@@ -157,6 +199,14 @@ func NewNode(cfg Config, bus *Bus, mesh *consensus.Mesh) *Node {
 	engCfg.Publish = n.handlePublish
 	n.engine = core.New(engCfg)
 	n.groupLocks = make([]sync.Mutex, n.engine.Cache().NumGroups())
+	n.tierScratch = make([]tierBufs, n.engine.Cache().NumGroups())
+	n.interest.local = make([]uint64, bitmapWords(n.engine.Cache().NumGroups()))
+	n.interest.peers = make(map[string]*peerDigest)
+	// The incarnation distinguishes this process's digest version stream
+	// from earlier lives of the same member ID, so peers discard a dead
+	// incarnation's view instead of rejecting the restart's low versions.
+	n.interest.incarnation = uint32(time.Now().UnixNano())
+	n.engine.SetInterestHook(n.onLocalInterestChange)
 
 	n.coords = coord.New(coord.Config{
 		ID: cfg.ID, Peers: cfg.Peers,
@@ -205,16 +255,24 @@ type ClusterStats struct {
 	Takeovers       int64
 	Fences          int64
 	LocalDeliveries int64
+	// PayloadsForwarded / PayloadsSuppressed count this member's
+	// coordinator-side replication tiering: full-payload replicas sent to
+	// peers vs. replicas downgraded to metadata-only frames because the
+	// peer had no subscriber in the topic's group (interest-aware routing).
+	PayloadsForwarded  int64
+	PayloadsSuppressed int64
 }
 
 // Stats returns the cluster-layer counters.
 func (n *Node) Stats() ClusterStats {
 	return ClusterStats{
-		Forwarded:       n.stats.forwarded.Value(),
-		Replicated:      n.stats.replicated.Value(),
-		Takeovers:       n.stats.takeovers.Value(),
-		Fences:          n.stats.fences.Value(),
-		LocalDeliveries: n.stats.localDeliver.Value(),
+		Forwarded:          n.stats.forwarded.Value(),
+		Replicated:         n.stats.replicated.Value(),
+		Takeovers:          n.stats.takeovers.Value(),
+		Fences:             n.stats.fences.Value(),
+		LocalDeliveries:    n.stats.localDeliver.Value(),
+		PayloadsForwarded:  n.stats.payloads.Forwarded.Value(),
+		PayloadsSuppressed: n.stats.payloads.Suppressed.Value(),
 	}
 }
 
@@ -228,6 +286,10 @@ func (n *Node) dispatchLoop() {
 			return
 		}
 		for i := range frames {
+			if frames[i].run != nil {
+				frames[i].run()
+				continue
+			}
 			n.handlePeer(frames[i].From, frames[i].Msg)
 		}
 		n.inbox.Recycle(frames)
@@ -248,6 +310,8 @@ func (n *Node) background() {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	var quorumLostAt time.Time
+	var lastDigestSync time.Time
+	lastMembers := len(n.bus.Members())
 	for {
 		select {
 		case <-n.bgStop:
@@ -267,6 +331,16 @@ func (n *Node) background() {
 			}
 		}
 		n.sweepPending()
+		// Interest-digest anti-entropy: re-broadcast the full bitmap
+		// periodically, and immediately when the membership changes (a
+		// joining member starts with no view of us; fail-open at its end
+		// lasts only until this broadcast lands).
+		if members := len(n.bus.Members()); members != lastMembers ||
+			time.Since(lastDigestSync) >= n.cfg.InterestSyncEvery {
+			lastMembers = members
+			lastDigestSync = time.Now()
+			n.broadcastInterestDigest()
+		}
 	}
 }
 
@@ -280,6 +354,9 @@ func (n *Node) fence() {
 	n.mu.Lock()
 	n.coordinated = make(map[int32]uint32)
 	n.gossip = make(map[int32]gossipEntry)
+	// Replication traffic is provably being missed: every group's cache is
+	// now a stale prefix until Recover pulls the cluster history back.
+	n.markAllUnsynced()
 	n.mu.Unlock()
 	n.engine.CloseAllClients()
 }
@@ -293,9 +370,22 @@ func (n *Node) recoverFromFence() {
 }
 
 // Recover reconstructs this member's history cache by asking every other
-// member in parallel (crash restart and partition healing, §5.2.2).
+// member in parallel (crash restart and partition healing, §5.2.2). When
+// every pull completes, the caches hold the union of the peers' histories
+// and the staleness that predates the recovery is cleared; a group
+// re-marked mid-recovery (a metadata frame arrived for a message published
+// after its history was streamed) keeps its fresher stamp and stays
+// flagged, as does everything after a partial recovery.
 func (n *Node) Recover() {
+	n.mu.Lock()
+	before := make(map[int32]uint64, len(n.unsynced))
+	for g, stamp := range n.unsynced {
+		before[g] = stamp
+	}
+	n.mu.Unlock()
+
 	var wg sync.WaitGroup
+	var failed atomic.Bool
 	for _, peer := range n.cfg.Peers {
 		if peer == n.id {
 			continue
@@ -303,10 +393,23 @@ func (n *Node) Recover() {
 		wg.Add(1)
 		go func(peer string) {
 			defer wg.Done()
-			n.catchupFromPeer(peer, -1)
+			if !n.catchupFromPeer(peer, -1) {
+				failed.Store(true)
+			}
 		}(peer)
 	}
 	wg.Wait()
+	n.mu.Lock()
+	if failed.Load() {
+		n.markAllUnsynced()
+	} else {
+		for g, stamp := range before {
+			if n.unsynced[g] == stamp {
+				delete(n.unsynced, g)
+			}
+		}
+	}
+	n.mu.Unlock()
 }
 
 // sweepPending fails publications stuck waiting longer than the op timeout
@@ -370,4 +473,10 @@ func (n *Node) Stop() {
 	n.coords.Stop()
 	n.inbox.Close()
 	n.wg.Wait()
+	// Barrier: any startResync still in flight has, under n.mu, either
+	// observed stopped (no Add) or completed its resyncWG.Add — so the
+	// Wait below cannot race an Add from zero.
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.resyncWG.Wait()
 }

@@ -144,22 +144,76 @@ func (n *Node) sequenceAndReplicate(g int32, epoch uint32, from *core.Client, co
 		Group:     g,
 		Timestamp: m.Timestamp,
 	}
-	sent := 0
+	// Interest-aware tier split: members with subscribers in the group get
+	// the full payload, as does the contact server (its copy is what
+	// acknowledges the publisher at degree 2). If that tier is smaller than
+	// the replication degree requires, uninterested members top it up in
+	// fixed peer order — deterministic, so the same members keep complete
+	// caches between digest changes. Everyone else receives sequencing
+	// metadata only (KindReplicateMeta): reliability is unchanged, but a
+	// member with no subscribers in the group pays no payload bandwidth.
+	// The classification buffers are per-group scratch reused under the
+	// group lock, keeping the sequencing hot path allocation-free.
+	scratch := &n.tierScratch[g]
+	payloadTo := scratch.payload[:0]
+	metaTo := scratch.meta[:0]
 	for _, peer := range n.cfg.Peers {
 		if peer == n.id {
 			continue
 		}
-		if n.bus.Send(n.id, peer, rep) {
-			sent++
+		if peer == contact || n.peerWantsPayload(peer, g) {
+			payloadTo = append(payloadTo, peer)
+		} else {
+			metaTo = append(metaTo, peer)
 		}
 	}
+	// metaStart indexes the first non-promoted meta candidate; promotion
+	// advances it rather than reslicing metaTo, so the scratch buffers
+	// keep their full backing capacity across publications.
+	needed := n.cfg.AckCopies - 1 // remote copies beyond the coordinator's
+	metaStart := 0
+	for len(payloadTo) < needed && metaStart < len(metaTo) {
+		payloadTo = append(payloadTo, metaTo[metaStart])
+		metaStart++
+	}
+	sent := 0
+	for i := 0; i < len(payloadTo); i++ {
+		if n.bus.Send(n.id, payloadTo[i], rep) {
+			sent++
+		} else if sent+(len(payloadTo)-i-1) < needed && metaStart < len(metaTo) {
+			// Payload-tier peer unreachable (crashed or partitioned) and
+			// the remaining candidates cannot reach the replication degree:
+			// promote the next uninterested member so the degree survives
+			// dead members.
+			payloadTo = append(payloadTo, metaTo[metaStart])
+			metaStart++
+		}
+	}
+	n.stats.payloads.Forwarded.Add(int64(sent))
+	if metaStart < len(metaTo) {
+		meta := &protocol.Message{
+			Kind:      protocol.KindReplicateMeta,
+			ClientID:  n.id,
+			Topic:     m.Topic,
+			ID:        m.ID,
+			Epoch:     epoch,
+			Seq:       seq,
+			Group:     g,
+			Timestamp: m.Timestamp,
+		}
+		for _, peer := range metaTo[metaStart:] {
+			if n.bus.Send(n.id, peer, meta) {
+				n.stats.payloads.Suppressed.Inc()
+			}
+		}
+	}
+	scratch.payload, scratch.meta = payloadTo, metaTo
 	lock.Unlock()
 	n.stats.replicated.Inc()
 
 	if m.Flags&protocol.FlagAckRequired == 0 {
 		return
 	}
-	needed := n.cfg.AckCopies - 1 // remote copies beyond the coordinator's
 	switch {
 	case from != nil:
 		if sent < needed {
@@ -241,10 +295,21 @@ func (n *Node) becomeCoordinator(g int32) (uint32, error) {
 	epoch := uint32(index)
 	// Catch up this group's topics from the cluster before sequencing, so
 	// our cache is complete and new sequence numbers extend the history
-	// (paper §5.2.2's cache-recovery protocol, applied at takeover).
-	n.catchupGroup(g)
+	// (paper §5.2.2's cache-recovery protocol, applied at takeover). A
+	// complete pull from every live peer recovers the union of their
+	// prefixes — everything any survivor holds — so the staleness that
+	// predates the pull is cleared; a re-mark during the pull (a metadata
+	// frame for a message published after the snapshot) carries a fresher
+	// stamp and survives.
+	n.mu.Lock()
+	stamp, wasStale := n.unsynced[g]
+	n.mu.Unlock()
+	caughtUp := n.catchupGroup(g)
 	n.mu.Lock()
 	n.coordinated[g] = epoch
+	if caughtUp && wasStale && n.unsynced[g] == stamp {
+		delete(n.unsynced, g)
+	}
 	n.mu.Unlock()
 	n.stats.takeovers.Inc()
 	n.logger.Debug("became coordinator", "group", g, "epoch", epoch)
@@ -322,6 +387,12 @@ func (n *Node) handlePeer(from string, m *protocol.Message) {
 		n.handleReplicate(from, m)
 	case protocol.KindReplicateAck:
 		n.handleReplicateAck(m)
+	case protocol.KindReplicateMeta:
+		n.handleReplicateMeta(from, m)
+	case protocol.KindInterest:
+		n.handleInterest(from, m)
+	case protocol.KindInterestDigest:
+		n.handleInterestDigest(from, m)
 	case protocol.KindGossip:
 		n.learnGossip(m.Group, m.ClientID, m.Epoch)
 	case protocol.KindCacheRequest:
@@ -373,12 +444,74 @@ func (n *Node) handleForwardFail(m *protocol.Message) {
 	}
 }
 
-// handleReplicate stores and fans out a sequenced publication broadcast by
-// a coordinator, acks it back, and — if this server was the publication's
-// contact point — acknowledges the publisher: the broadcast's arrival
-// proves the message is recorded on at least two servers (§5.2.2).
+// handleReplicate processes a sequenced publication broadcast by a
+// coordinator. While a resync of the topic's group is in flight the frame
+// is parked behind it; a frame that arrives for a stale group, or that does
+// not contiguously extend the topic's history, triggers a resync from the
+// sender (whose cache, as the group's coordinator, is complete). Otherwise
+// the frame is applied directly.
 func (n *Node) handleReplicate(from string, m *protocol.Message) {
 	n.learnGossip(m.Group, m.ClientID, m.Epoch)
+	g := int32(n.engine.Cache().GroupOf(m.Topic))
+	n.mu.Lock()
+	if st := n.resyncing[g]; st != nil {
+		st.frames = append(st.frames, PeerFrame{From: from, Msg: m})
+		n.mu.Unlock()
+		return
+	}
+	_, stale := n.unsynced[g]
+	n.mu.Unlock()
+	if !n.applyReplicate(from, m, stale) {
+		n.startResync(g, from, &PeerFrame{From: from, Msg: m})
+	}
+}
+
+// applyReplicate stores and fans out one replicated publication, acks it
+// back to the coordinator, and — if this server was the publication's
+// contact point — acknowledges the publisher: the broadcast's arrival
+// proves the message is recorded on at least two servers (§5.2.2). It
+// reports false, applying nothing, when the entry does not contiguously
+// extend the topic's history (an earlier message is missing — e.g. this
+// member just re-entered the payload tier, or an epoch changed hands);
+// the caller then resolves the gap with a resync. Duplicates and stale
+// entries are acked and dropped (§3 allows duplicates).
+//
+// groupStale means other topics of the group are known to have suppressed
+// history. A frame that contiguously extends this topic's own cached
+// prefix is still safe to apply then — per-topic prefixes stay intact —
+// which keeps, say, a contact server's forward/ack path out of whole-group
+// resyncs that a different topic's suppression would otherwise force. Only
+// the empty-topic fast start is ambiguous under staleness (seq 1 of a new
+// epoch is indistinguishable from a suppressed-prefix takeover) and defers
+// to the resync.
+func (n *Node) applyReplicate(from string, m *protocol.Message, groupStale bool) bool {
+	epoch, seq, ok := n.engine.Cache().Position(m.Topic)
+	switch {
+	case !ok:
+		// No history for the topic: only the very first message of the
+		// stream (seq 1, at whatever epoch its coordinator holds) may
+		// start it; anything later means the prefix was suppressed.
+		if m.Seq != 1 || groupStale {
+			return false
+		}
+	case m.Epoch == epoch:
+		if m.Seq > seq+1 {
+			return false
+		}
+		if m.Seq <= seq {
+			n.ackReplicate(from, m) // duplicate: stored (or superseded) already
+			return true
+		}
+	case m.Epoch < epoch:
+		n.ackReplicate(from, m) // stale epoch: superseded
+		return true
+	default:
+		// Epoch advanced (coordinator takeover): the tail of the previous
+		// epoch may contain messages we were never sent. Verify through a
+		// catch-up from the new coordinator rather than appending blindly.
+		return false
+	}
+
 	entry := cache.Entry{
 		ID:        m.ID,
 		Epoch:     m.Epoch,
@@ -386,24 +519,30 @@ func (n *Node) handleReplicate(from string, m *protocol.Message) {
 		Timestamp: m.Timestamp,
 		Payload:   m.Payload,
 	}
-	// Replication keeps every member's cache complete, but the fan-out
-	// below only touches workers with local subscribers for the topic —
-	// a member that merely stores the replica pays no delivery cost.
-	// Deliver (not DeliverGroup) on purpose: routing must key on the topic
-	// name alone, never on a wire-supplied group a buggy peer could skew,
-	// and Append above pays the topic hash anyway.
+	// Replication keeps every payload-tier member's cache complete, but the
+	// fan-out below only touches workers with local subscribers for the
+	// topic — a member that merely stores the replica pays no delivery
+	// cost. Deliver (not DeliverGroup) on purpose: routing must key on the
+	// topic name alone, never on a wire-supplied group a buggy peer could
+	// skew, and Append pays the topic hash anyway.
 	if n.engine.Cache().Append(m.Topic, entry) {
 		n.stats.localDeliver.Add(int64(n.engine.Deliver(m.Topic, entry)))
 	}
+	n.ackReplicate(from, m)
+	return true
+}
+
+// ackReplicate confirms a replica copy to the coordinator and, at the
+// paper's replication degree, acknowledges a pending forwarded publication:
+// the broadcast's arrival proves two copies exist (coordinator + this
+// server). At higher degrees the coordinator sends KindPubDone instead.
+func (n *Node) ackReplicate(from string, m *protocol.Message) {
 	ack := &protocol.Message{
 		Kind: protocol.KindReplicateAck, ClientID: n.id,
 		Topic: m.Topic, ID: m.ID, Epoch: m.Epoch, Seq: m.Seq, Group: m.Group,
 	}
 	n.bus.Send(n.id, from, ack)
 
-	// Contact-side ack at the paper's replication degree: the broadcast's
-	// arrival proves two copies exist (coordinator + this server). At
-	// higher degrees the coordinator sends KindPubDone instead.
 	if n.cfg.AckCopies <= 2 {
 		n.mu.Lock()
 		p := n.pendingFwd[pendingKey(m.Topic, m.ID)]
@@ -416,6 +555,37 @@ func (n *Node) handleReplicate(from string, m *protocol.Message) {
 			})
 		}
 	}
+}
+
+// handleReplicateMeta processes the interest-filtered replication tier: the
+// coordinator advanced the topic's stream but sent us no payload because,
+// in its view, no local subscriber needs it. If the view is right, the
+// group's cache is now a stale prefix and is flagged so; if it is stale
+// gossip (a subscriber appeared here moments ago), the payloads are pulled
+// from the coordinator's cache and the digest is re-announced. Meta frames
+// are never acknowledged and never appended — the cache must stay a
+// contiguous prefix of the stream for resume replay to be sound.
+func (n *Node) handleReplicateMeta(from string, m *protocol.Message) {
+	n.learnGossip(m.Group, m.ClientID, m.Epoch)
+	g := int32(n.engine.Cache().GroupOf(m.Topic))
+	n.mu.Lock()
+	if st := n.resyncing[g]; st != nil {
+		st.frames = append(st.frames, PeerFrame{From: from, Msg: m})
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	if !n.entryIsNews(m) {
+		return // already hold it (we were in the payload tier for it)
+	}
+	// Mark stale and, if local subscribers turn out to be waiting (the
+	// coordinator's view of us is stale — our interest delta is still in
+	// flight), repair its view and catch the payload up from its cache.
+	// abortResync marks BEFORE checking for subscribers: a subscriber
+	// whose interest transition runs between the two steps observes the
+	// mark and starts the repair itself — either side sees the other, so a
+	// subscribed member can never sit stale with no resync in flight.
+	n.abortResync(g, from)
 }
 
 // handleReplicateAck advances a pending publication toward its replication
@@ -502,13 +672,21 @@ func (n *Node) handleCacheRequest(from string, m *protocol.Message) {
 }
 
 // handleCacheResponse applies one recovered entry, or completes a catch-up
-// wait on the done marker.
+// wait on the done marker. A successfully appended entry is also fanned out
+// locally: during an interest resync the backlog must reach the subscribers
+// whose arrival triggered it, and peers stream their history oldest-first,
+// so delivery happens in (epoch, seq) order per topic. (In the recovery
+// paths that predate interest routing — partition healing, crash restart —
+// clients have been closed and the fan-out finds no subscribers.)
 func (n *Node) handleCacheResponse(m *protocol.Message) {
 	if m.Topic != "" {
-		n.engine.Cache().Append(m.Topic, cache.Entry{
+		entry := cache.Entry{
 			ID: m.ID, Epoch: m.Epoch, Seq: m.Seq,
 			Timestamp: m.Timestamp, Payload: m.Payload,
-		})
+		}
+		if n.engine.Cache().Append(m.Topic, entry) {
+			n.stats.localDeliver.Add(int64(n.engine.Deliver(m.Topic, entry)))
+		}
 		return
 	}
 	// Done marker: m.ID is the correlation key.
@@ -523,22 +701,26 @@ func (n *Node) handleCacheResponse(m *protocol.Message) {
 // catchupCounter makes catch-up correlation IDs unique.
 var catchupCounter atomic.Uint64
 
-// catchupGroup synchronously pulls one group's history from all peers.
-func (n *Node) catchupGroup(g int32) {
-	n.catchupFrom(n.livePeers(), g)
+// catchupGroup synchronously pulls one group's history from all peers. It
+// reports whether every reachable peer streamed its history to completion.
+func (n *Node) catchupGroup(g int32) bool {
+	return n.catchupFrom(n.livePeers(), g)
 }
 
 // catchupFromPeer synchronously pulls history from one peer (g == -1 for
 // everything).
-func (n *Node) catchupFromPeer(peer string, g int32) {
-	n.catchupFrom([]string{peer}, g)
+func (n *Node) catchupFromPeer(peer string, g int32) bool {
+	return n.catchupFrom([]string{peer}, g)
 }
 
 // catchupFrom requests history for group g from the given peers and waits
-// for all done markers (or the catch-up timeout).
-func (n *Node) catchupFrom(peers []string, g int32) {
+// for all done markers. It returns true when every request completed — an
+// empty peer list is trivially complete (a single-member cluster has no one
+// to ask) — and false on timeout, node shutdown, or when no peer was
+// reachable at all.
+func (n *Node) catchupFrom(peers []string, g int32) bool {
 	if len(peers) == 0 {
-		return
+		return true
 	}
 	corr := fmt.Sprintf("catchup-%s-%d", n.id, catchupCounter.Add(1))
 	st := &catchupState{done: make(chan struct{})}
@@ -561,13 +743,17 @@ func (n *Node) catchupFrom(peers []string, g int32) {
 		}
 	}
 	if sent == 0 {
-		return
+		return false
 	}
 	st.remaining.Store(sent)
 	select {
 	case <-st.done:
+		return true
 	case <-time.After(n.cfg.CatchupTimeout):
 		n.logger.Debug("catch-up timed out", "group", g)
+		return false
+	case <-n.bgStop:
+		return false
 	}
 }
 

@@ -175,6 +175,22 @@ func New(cfg Config) *Engine {
 // client publishes (typically right after New, by the cluster layer).
 func (e *Engine) SetPublishFunc(fn PublishFunc) { e.publishFn = fn }
 
+// SetInterestHook installs fn to be called whenever this server gains its
+// first local subscriber in a topic group or loses its last one. The hook
+// runs on the worker goroutine that performed the transition and receives
+// only the group index; callers must read the current state back through
+// GroupHasSubscribers under their own serialization, so that reordered
+// invocations of the hook cannot install stale state. Must be set before
+// clients attach (the cluster layer installs it right after New).
+func (e *Engine) SetInterestHook(fn func(group int)) { e.subIndex.onGroup = fn }
+
+// GroupHasSubscribers reports whether any topic of group g currently has at
+// least one local subscriber. The cluster layer derives its per-group
+// interest digest from this.
+func (e *Engine) GroupHasSubscribers(g int) bool {
+	return e.subIndex.groupHasTopics(g)
+}
+
 // tickLoop periodically prompts IoThreads to flush due batches and Workers
 // to flush due conflation aggregates.
 func (e *Engine) tickLoop() {

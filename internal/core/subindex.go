@@ -27,6 +27,17 @@ import (
 type subIndex struct {
 	words  int // per-topic bitmap length: ceil(workers/64)
 	shards []subIndexShard
+
+	// onGroup, when non-nil, is invoked after a shard's topic set makes an
+	// empty↔non-empty transition — i.e. when this server gains its first
+	// local subscriber in a topic group or loses its last one. The cluster
+	// layer installs it to maintain the per-group interest digest it gossips
+	// to peers (§5.2.2 routing by interest). The hook runs on the worker
+	// goroutine that caused the transition, after the shard lock is
+	// released; it receives only the group index and must re-read the
+	// current state itself, so reordered invocations cannot install stale
+	// state.
+	onGroup func(group int)
 }
 
 type subIndexShard struct {
@@ -47,32 +58,38 @@ func newSubIndex(numShards, numWorkers int) *subIndex {
 	return x
 }
 
-// shardOf returns the shard owning topic (the topic's group).
-func (x *subIndex) shardOf(topic string) *subIndexShard {
-	return &x.shards[hashing.TopicGroup(topic, len(x.shards))]
+// shardOf returns the shard owning topic and its group index.
+func (x *subIndex) shardOf(topic string) (*subIndexShard, int) {
+	g := hashing.TopicGroup(topic, len(x.shards))
+	return &x.shards[g], g
 }
 
 // add marks worker as having at least one subscriber for topic. Called by
 // worker goroutines on the empty→non-empty transition of their local
 // subscriber set.
 func (x *subIndex) add(topic string, worker int) {
-	sh := x.shardOf(topic)
+	sh, g := x.shardOf(topic)
 	sh.mu.Lock()
 	wset := sh.topics[topic]
+	first := len(sh.topics) == 0
 	if wset == nil {
 		wset = make([]uint64, x.words)
 		sh.topics[topic] = wset
 	}
 	wset[worker>>6] |= 1 << (worker & 63)
 	sh.mu.Unlock()
+	if first && x.onGroup != nil {
+		x.onGroup(g)
+	}
 }
 
 // remove clears worker's bit for topic, dropping the topic's entry when no
 // worker has subscribers left. Called by worker goroutines on the
 // non-empty→empty transition of their local subscriber set.
 func (x *subIndex) remove(topic string, worker int) {
-	sh := x.shardOf(topic)
+	sh, g := x.shardOf(topic)
 	sh.mu.Lock()
+	last := false
 	if wset := sh.topics[topic]; wset != nil {
 		wset[worker>>6] &^= 1 << (worker & 63)
 		empty := true
@@ -84,14 +101,30 @@ func (x *subIndex) remove(topic string, worker int) {
 		}
 		if empty {
 			delete(sh.topics, topic)
+			last = len(sh.topics) == 0
 		}
 	}
 	sh.mu.Unlock()
+	if last && x.onGroup != nil {
+		x.onGroup(g)
+	}
+}
+
+// groupHasTopics reports whether any topic of group g currently has a local
+// subscriber on any worker.
+func (x *subIndex) groupHasTopics(g int) bool {
+	if g < 0 || g >= len(x.shards) {
+		return false
+	}
+	sh := &x.shards[g]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.topics) > 0
 }
 
 // contains reports whether worker is indexed for topic.
 func (x *subIndex) contains(topic string, worker int) bool {
-	sh := x.shardOf(topic)
+	sh, _ := x.shardOf(topic)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	wset := sh.topics[topic]

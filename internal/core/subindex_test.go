@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -232,6 +233,71 @@ func TestSubIndexMatchesWorkerStateAcrossLifecycle(t *testing.T) {
 	}
 	if snap := e.subIndex.snapshot(); len(snap) != 0 {
 		t.Fatalf("index not empty after all clients detached: %v", snap)
+	}
+}
+
+// TestInterestHookFiresOnGroupTransitions drives the engine-level interest
+// hook the cluster layer builds its gossip digest on: it must fire exactly
+// when a topic group gains its first local subscriber or loses its last
+// one, and never on intermediate subscription churn. TopicGroups is 1 so
+// every topic lands in group 0 and the transitions are deterministic.
+func TestInterestHookFiresOnGroupTransitions(t *testing.T) {
+	var mu sync.Mutex
+	var events []bool // state of group 0 as observed at each hook call
+	e := New(Config{IoThreads: 1, Workers: 2, TopicGroups: 1})
+	t.Cleanup(func() { e.Close() })
+	e.SetInterestHook(func(g int) {
+		if g != 0 {
+			t.Errorf("hook fired for group %d, want 0", g)
+		}
+		mu.Lock()
+		events = append(events, e.GroupHasSubscribers(g))
+		mu.Unlock()
+	})
+
+	snapshot := func() []bool {
+		for _, w := range e.workers {
+			w.do(func() {}) // barrier: drain enqueued subscription events
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]bool(nil), events...)
+	}
+
+	a, _ := attachClientPeer(t, e)
+	b, _ := attachClientPeer(t, e)
+	a.send(&protocol.Message{Kind: protocol.KindSubscribe,
+		Topics: []protocol.TopicPosition{{Topic: "first"}}})
+	a.expectKind(protocol.KindSubAck, time.Second)
+	if got := snapshot(); len(got) != 1 || !got[0] {
+		t.Fatalf("after first subscribe: hook events = %v, want [true]", got)
+	}
+	if !e.GroupHasSubscribers(0) {
+		t.Fatal("GroupHasSubscribers(0) = false with a live subscriber")
+	}
+
+	// More subscriptions in the same (only) group: no transition.
+	b.send(&protocol.Message{Kind: protocol.KindSubscribe,
+		Topics: []protocol.TopicPosition{{Topic: "second"}}})
+	b.expectKind(protocol.KindSubAck, time.Second)
+	if got := snapshot(); len(got) != 1 {
+		t.Fatalf("after second subscribe: hook events = %v, want no new event", got)
+	}
+
+	// Dropping one of two topics keeps the group occupied.
+	a.send(&protocol.Message{Kind: protocol.KindUnsubscribe,
+		Topics: []protocol.TopicPosition{{Topic: "first"}}})
+	a.send(&protocol.Message{Kind: protocol.KindPing})
+	a.expectKind(protocol.KindPong, time.Second)
+	if got := snapshot(); len(got) != 1 {
+		t.Fatalf("after partial unsubscribe: hook events = %v, want no new event", got)
+	}
+
+	// Last subscriber detaches: the group empties.
+	b.conn.Close()
+	waitFor(t, 2*time.Second, func() bool { return !e.GroupHasSubscribers(0) })
+	if got := snapshot(); len(got) != 2 || got[1] {
+		t.Fatalf("after last detach: hook events = %v, want [true false]", got)
 	}
 }
 

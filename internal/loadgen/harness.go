@@ -107,6 +107,13 @@ type Result struct {
 	// fan-out (cumulative over the run, warm-up included).
 	DeliverRouted  int64
 	DeliverSkipped int64
+	// PayloadsForwarded/PayloadsSuppressed snapshot the cluster-layer
+	// interest-routing counters summed over all members: full-payload
+	// replicas shipped between nodes vs. replicas downgraded to
+	// metadata-only frames because the receiving node had no subscriber in
+	// the topic's group (zero on single-engine runs).
+	PayloadsForwarded  int64
+	PayloadsSuppressed int64
 }
 
 // Row formats the result like a row of Table 1 (latencies in ms).

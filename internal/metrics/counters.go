@@ -33,6 +33,21 @@ type RoutingCounters struct {
 	Skipped Counter
 }
 
+// PayloadCounters tracks interest-aware cluster replication. Forwarded
+// counts full-payload replicas sent to peers ("cluster_payloads_forwarded");
+// Suppressed counts replicas downgraded to metadata-only frames because the
+// receiving member had no subscriber in the topic's group
+// ("cluster_payloads_suppressed"). Both count successful sends, so with
+// every peer reachable Forwarded+Suppressed equals publications ×
+// (members−1) — what the interest-blind broadcast would have shipped — and
+// Suppressed/(Forwarded+Suppressed) is the fraction of cross-node payload
+// traffic the cluster interest digest eliminated. Sends to crashed or
+// partitioned peers count toward neither.
+type PayloadCounters struct {
+	Forwarded  Counter
+	Suppressed Counter
+}
+
 // TrafficMeter accumulates byte counts and converts them to the Gbps figures
 // the paper reports for outgoing notification traffic (Table 1). Start opens
 // a measurement window; Gbps reports the rate within the current window, so

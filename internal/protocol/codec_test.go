@@ -177,7 +177,8 @@ func TestKindString(t *testing.T) {
 	kinds := []Kind{KindConnect, KindConnAck, KindSubscribe, KindSubAck, KindUnsubscribe,
 		KindPublish, KindPubAck, KindNotify, KindPing, KindPong, KindDisconnect,
 		KindReplicate, KindReplicateAck, KindForward, KindForwardFail, KindGossip,
-		KindCacheRequest, KindCacheResponse, KindPubDone}
+		KindCacheRequest, KindCacheResponse, KindPubDone,
+		KindReplicateMeta, KindInterest, KindInterestDigest}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

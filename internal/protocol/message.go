@@ -72,6 +72,28 @@ const (
 	// arrival of the KindReplicate broadcast itself is the proof
 	// (§5.2.2).
 	KindPubDone
+	// KindReplicateMeta is the interest-filtered tier of the replication
+	// broadcast: the coordinator sends it, instead of a full KindReplicate,
+	// to members with no subscribers in the topic's group. It carries the
+	// sequencing metadata (topic, ID, epoch, seq) but no payload, so an
+	// uninterested member can track how far the stream has advanced — and
+	// detect, when it later becomes interested, that it must catch the
+	// payloads up from the coordinator's cache — without paying payload
+	// bandwidth. Meta frames are not acknowledged and do not count toward
+	// the replication degree.
+	KindReplicateMeta
+	// KindInterest is a per-group interest delta: "server ClientID is now
+	// interested (Status == 1) / no longer interested (Status == 0) in
+	// topic group Group". Seq carries the sender's digest version; deltas
+	// apply only in version order, so a gap (a missed delta) invalidates
+	// the receiver's view of that peer until the next full digest arrives.
+	KindInterest
+	// KindInterestDigest is a full interest digest: Payload holds a
+	// little-endian bitmap with bit g set iff the sender has at least one
+	// subscriber in topic group g, and Seq holds the digest version. Sent
+	// periodically as anti-entropy and on demand, it lets peers (re)build
+	// their view after joins, restarts, or missed deltas.
+	KindInterestDigest
 )
 
 // Flags carried by a message.
@@ -186,6 +208,12 @@ func (k Kind) String() string {
 		return "CACHE_RESPONSE"
 	case KindPubDone:
 		return "PUB_DONE"
+	case KindReplicateMeta:
+		return "REPLICATE_META"
+	case KindInterest:
+		return "INTEREST"
+	case KindInterestDigest:
+		return "INTEREST_DIGEST"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
@@ -194,5 +222,5 @@ func (k Kind) String() string {
 // Valid reports whether k is a known message kind.
 func (k Kind) Valid() bool {
 	return (k >= KindConnect && k <= KindDisconnect) ||
-		(k >= KindReplicate && k <= KindPubDone)
+		(k >= KindReplicate && k <= KindInterestDigest)
 }
