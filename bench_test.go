@@ -23,6 +23,7 @@ import (
 	"migratorydata/internal/loadgen"
 	"migratorydata/internal/metrics"
 	"migratorydata/internal/protocol"
+	"migratorydata/internal/transport"
 )
 
 // ScaleDivisor maps the paper's client counts onto this environment:
@@ -534,6 +535,144 @@ func BenchmarkClusterSparseForward(b *testing.B) {
 	}
 	b.Run("sparse", func(b *testing.B) { run(b, []int{0}, true) })
 	b.Run("dense-baseline", func(b *testing.B) { run(b, nil, false) })
+}
+
+// BenchmarkDenseFanout measures the grouped egress pipeline on the paper's
+// dense fan-out shape: one hot topic whose 1000 subscribers are spread over
+// 4 IoThreads. Before the egress overhaul, each delivered publication cost
+// one MPSC push (one mutex acquisition on the worker, one event, one
+// time.Now() on the IoThread) PER SUBSCRIBER; grouped fan-out buckets the
+// subscribers by owning IoThread and pushes one evWriteMulti per IoThread,
+// so "fanout-events/op" must stay ≤ the IoThread count — the benchmark
+// fails if it does not. A single Worker makes the bound exact (with W
+// workers the bound is W × IoThreads, still independent of the subscriber
+// count); the worker-side routing cost is BenchmarkSparseFanout's job.
+func BenchmarkDenseFanout(b *testing.B) {
+	const (
+		ioThreads   = 4
+		subscribers = 1000
+	)
+	e := core.New(core.Config{ServerID: "dense", IoThreads: ioThreads, Workers: 1, TopicGroups: 100})
+	b.Cleanup(func() { e.Close() })
+	attach := loadgen.SingleEngineAttach(e, 1<<16)
+	for i := 0; i < subscribers; i++ {
+		conn, err := attach(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { conn.Close() })
+		if _, err := conn.Write(protocol.Encode(&protocol.Message{Kind: protocol.KindSubscribe,
+			Topics: []protocol.TopicPosition{{Topic: "hot"}}})); err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			buf := make([]byte, 1<<15)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	// Wait until every subscription is registered and indexed: a probe
+	// publication must reach all subscribers.
+	readyDeadline := time.Now().Add(10 * time.Second)
+	for {
+		before := e.Stats().Delivered
+		e.Deliver("hot", cache.Entry{Epoch: 1, Seq: 1})
+		time.Sleep(10 * time.Millisecond)
+		if int(e.Stats().Delivered-before) == subscribers {
+			break
+		}
+		if time.Now().After(readyDeadline) {
+			b.Fatalf("subscriptions not ready: probe reached %d of %d subscribers",
+				e.Stats().Delivered-before, subscribers)
+		}
+	}
+
+	waitDelivered := func(target int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for e.Stats().Delivered < target {
+			if time.Now().After(deadline) {
+				b.Fatalf("fan-out stalled: delivered=%d target=%d", e.Stats().Delivered, target)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	entry := cache.Entry{Epoch: 1, Seq: 1, Payload: make([]byte, 140)}
+	start := e.Stats()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Deliver("hot", entry)
+		// Bound queue growth: periodically let the fan-out drain.
+		if i%256 == 255 {
+			waitDelivered(start.Delivered + int64(subscribers)*int64(i+1))
+		}
+	}
+	// Drain fully so the counters cover every delivery issued above.
+	waitDelivered(start.Delivered + int64(subscribers)*int64(b.N))
+	b.StopTimer()
+
+	// The writes themselves complete asynchronously on the IoThreads; wait
+	// for them so io-flushes/op covers the whole run (batching is off, so
+	// one write per subscriber per message is expected).
+	flushTarget := start.IOFlushes + int64(subscribers)*int64(b.N)
+	flushDeadline := time.Now().Add(30 * time.Second)
+	for e.Stats().IOFlushes < flushTarget && time.Now().Before(flushDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	st := e.Stats()
+	fanPerOp := float64(st.FanoutEvents-start.FanoutEvents) / float64(b.N)
+	b.ReportMetric(fanPerOp, "fanout-events/op")
+	b.ReportMetric(float64(st.DeliverRouted-start.DeliverRouted)/float64(b.N), "deliver-events/op")
+	b.ReportMetric(float64(st.IOFlushes-start.IOFlushes)/float64(b.N), "io-flushes/op")
+	b.ReportMetric(float64(subscribers), "subscribers")
+	if fanPerOp > ioThreads {
+		b.Errorf("grouped fan-out pushed %.2f events/msg, want ≤ %d (the IoThread count)",
+			fanPerOp, ioThreads)
+	}
+}
+
+// TestRawReadPathAllocFree proves the pooled-chunk contract end to end on
+// the raw-TCP transport: once the pool is warm, a ReadChunk + recycle cycle
+// — the per-read work of engine.readLoop plus the IoThread's release —
+// performs no heap allocation. Before the egress overhaul every ReadChunk
+// copied into a fresh make([]byte, n).
+func TestRawReadPathAllocFree(t *testing.T) {
+	client, server := transport.NewPipeSize(
+		transport.Addr{Net: "inproc", Address: "alloc-client"},
+		transport.Addr{Net: "inproc", Address: "alloc-server"},
+		1<<16,
+	)
+	defer client.Close()
+	defer server.Close()
+	framed := core.NewRawFramed(server)
+	frame := protocol.Encode(&protocol.Message{
+		Kind: protocol.KindPublish, Topic: "t", ID: "id",
+		Payload: make([]byte, 140), Timestamp: 1,
+	})
+
+	readOne := func() {
+		if _, err := client.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		chunk, err := framed.ReadChunk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) != len(frame) {
+			t.Fatalf("chunk length %d, want %d", len(chunk), len(frame))
+		}
+		core.RecycleReadChunk(chunk)
+	}
+	readOne() // warm the pool's per-P slot
+	allocs := testing.AllocsPerRun(500, readOne)
+	if allocs > 0.1 {
+		t.Errorf("raw read path allocates %.2f objects per read, want ~0", allocs)
+	}
 }
 
 // BenchmarkSparseFanout measures subscription-aware delivery routing on the

@@ -117,6 +117,9 @@ func main() {
 						"delivered", st.Delivered,
 						"deliver_events_routed", st.DeliverRouted,
 						"deliver_events_skipped", st.DeliverSkipped,
+						"fanout_events", st.FanoutEvents,
+						"io_flushes", st.IOFlushes,
+						"io_flush_bytes", st.IOFlushBytes,
 						"gbps", fmt.Sprintf("%.3f", st.Gbps),
 						"cpu", fmt.Sprintf("%.1f%%", st.CPUUtilized*100))
 					if n := s.Node(); n != nil {

@@ -93,6 +93,60 @@ func TestBatcherReuseAfterFlush(t *testing.T) {
 	}
 }
 
+func TestBatcherOversizedFrameFlushesImmediately(t *testing.T) {
+	b := NewBatcher(10, time.Hour)
+	// A single frame already past maxBytes must not linger until the delay
+	// trigger: Add flushes it on the spot.
+	out := b.Add(t0, []byte("0123456789abcdef"))
+	if string(out) != "0123456789abcdef" {
+		t.Fatalf("oversized frame Add = %q, want immediate flush", out)
+	}
+	if b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatalf("state not reset: pending=%d bytes=%d", b.Pending(), b.PendingBytes())
+	}
+}
+
+func TestBatcherDueExactlyAtMaxDelay(t *testing.T) {
+	b := NewBatcher(1<<20, 50*time.Millisecond)
+	b.Add(t0, []byte("x"))
+	if out := b.Due(t0.Add(50*time.Millisecond - time.Nanosecond)); out != nil {
+		t.Fatalf("Due fired one nanosecond early: %q", out)
+	}
+	// The boundary is inclusive: age == maxDelay flushes.
+	if out := b.Due(t0.Add(50 * time.Millisecond)); string(out) != "x" {
+		t.Fatalf("Due exactly at maxDelay = %q, want x", out)
+	}
+}
+
+// TestBatcherTakeReuseContract pins the zero-copy ownership rule the
+// IoThread relies on: a returned batch is valid only until the next Add,
+// which rewinds onto the same backing array.
+func TestBatcherTakeReuseContract(t *testing.T) {
+	b := NewBatcher(4, time.Hour)
+	out1 := b.Add(t0, []byte("aaaa")) // size flush
+	if string(out1) != "aaaa" {
+		t.Fatalf("first flush = %q", out1)
+	}
+	// Consume (copy) before the next Add, as the engine's write path does.
+	copied := string(out1)
+
+	out2 := b.Add(t0, []byte("bbbb"))
+	if string(out2) != "bbbb" {
+		t.Fatalf("second flush = %q", out2)
+	}
+	// The second Add reused out1's backing array — that is the contract,
+	// and it is why the batch must be consumed before the next Add.
+	if &out1[0] != &out2[0] {
+		t.Errorf("flush did not reuse the backing array (new allocation per batch)")
+	}
+	if string(out1) != "bbbb" {
+		t.Errorf("out1 now reads %q: expected it to be overwritten by the next Add", out1)
+	}
+	if copied != "aaaa" {
+		t.Errorf("copy taken before next Add = %q, want aaaa", copied)
+	}
+}
+
 func TestConflatorDisabled(t *testing.T) {
 	c := NewConflator[int](0, nil)
 	v, emit := c.Offer(t0, "t", 42)

@@ -1,0 +1,48 @@
+// Package bufpool recycles the fixed-class byte buffers that flow through
+// the engine's read path: transport read chunks travelling from reader
+// goroutines through IoThread queues, and decoded message payloads whose
+// lifetime ends with the event that carried them. Both are produced and
+// consumed at the engine's full message rate, so without pooling every read
+// costs a garbage allocation — exactly the per-message garbage the paper's
+// C10M deployment has to keep low for GC pauses to stay bounded (§5).
+//
+// The pool is sync.Pool-backed and allocation-free in the steady state: it
+// stores *[ClassSize]byte array pointers, so neither Get nor Put boxes a
+// slice header. Buffers shorter than the class are carved from a class
+// buffer (the capacity stays ClassSize, which is how Put recognizes them);
+// requests larger than the class fall through to plain make and are dropped
+// on Put. Losing a buffer — forgetting to Put, or growing it past the class
+// — is always safe: it just becomes ordinary garbage.
+package bufpool
+
+import "sync"
+
+// ClassSize is the pooled buffer class. 8 KiB covers a transport read (the
+// engine reads in 8 KiB chunks) and every realistic message payload (the
+// paper's workloads use 140- and 512-byte payloads) while keeping a pooled
+// buffer cheap enough to pin briefly on an IoThread queue.
+const ClassSize = 8 << 10
+
+var pool = sync.Pool{New: func() any { return new([ClassSize]byte) }}
+
+// Get returns a buffer of length n. Buffers with n <= ClassSize come from
+// the pool; larger ones are freshly allocated (and will not be recycled).
+// The buffer is NOT zeroed — callers overwrite it.
+func Get(n int) []byte {
+	if n > ClassSize {
+		return make([]byte, n)
+	}
+	return pool.Get().(*[ClassSize]byte)[:n]
+}
+
+// Put recycles a buffer previously returned by Get and reports whether it
+// was pooled. Only class-sized backing arrays are recycled, so re-slicing
+// from the start (b[:n]) is fine but callers must never Put a buffer whose
+// backing array is still referenced elsewhere. Put(nil) is a no-op.
+func Put(b []byte) bool {
+	if cap(b) != ClassSize {
+		return false
+	}
+	pool.Put((*[ClassSize]byte)(b[:ClassSize]))
+	return true
+}

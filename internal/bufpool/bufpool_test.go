@@ -1,0 +1,64 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthAndClass(t *testing.T) {
+	b := Get(140)
+	if len(b) != 140 {
+		t.Fatalf("len = %d, want 140", len(b))
+	}
+	if cap(b) != ClassSize {
+		t.Fatalf("cap = %d, want class %d", cap(b), ClassSize)
+	}
+	if !Put(b) {
+		t.Fatal("class buffer not recycled")
+	}
+}
+
+func TestOversizedFallsThrough(t *testing.T) {
+	b := Get(ClassSize + 1)
+	if len(b) != ClassSize+1 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if Put(b) {
+		t.Fatal("oversized buffer must not be pooled")
+	}
+}
+
+func TestPutForeignBufferDropped(t *testing.T) {
+	if Put(make([]byte, 16)) {
+		t.Fatal("foreign (non-class) buffer must not be pooled")
+	}
+	if Put(nil) {
+		t.Fatal("Put(nil) must be a no-op")
+	}
+}
+
+func TestReuseRoundTrip(t *testing.T) {
+	b := Get(64)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(ClassSize)
+	// Not guaranteed to be the same array (pool semantics), but the round
+	// trip must hand back a usable full-class buffer.
+	if len(c) != ClassSize || cap(c) != ClassSize {
+		t.Fatalf("len/cap = %d/%d", len(c), cap(c))
+	}
+	Put(c)
+}
+
+// TestSteadyStateAllocFree is the pooling contract the egress overhaul
+// depends on: a get/put cycle performs no allocation once the pool is warm.
+func TestSteadyStateAllocFree(t *testing.T) {
+	Put(Get(512)) // warm the per-P slot
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := Get(512)
+		b[0] = 1
+		Put(b)
+	})
+	if allocs > 0.1 {
+		t.Fatalf("get/put cycle allocates %.2f objects/op, want ~0", allocs)
+	}
+}

@@ -130,6 +130,7 @@ type engineStats struct {
 	retransmitted metrics.Counter
 	connects      metrics.Counter
 	routing       metrics.RoutingCounters
+	egress        metrics.EgressCounters
 }
 
 // New constructs and starts an Engine: IoThread and Worker loops begin
@@ -276,6 +277,9 @@ func (e *Engine) Attach(framed Framed) (*Client, error) {
 	c.io = e.ioThreads[pinIndex(framed.RemoteAddr(), id, len(e.ioThreads))]
 	c.worker = e.workers[pinIndex(framed.RemoteAddr(), id, len(e.workers))]
 	c.batcher = batch.NewBatcher(e.cfg.BatchMaxBytes, e.cfg.BatchMaxDelay)
+	// Decoded payloads ride pooled buffers; the worker releases or detaches
+	// them per message kind (see handleClientMsg).
+	c.decoder.PoolPayloads = true
 
 	e.mu.Lock()
 	if e.closed.Load() {
@@ -314,7 +318,15 @@ func (e *Engine) readLoop(c *Client) {
 	for {
 		chunk, err := c.framed.ReadChunk()
 		if len(chunk) > 0 {
-			c.io.in.Push(ioEvent{kind: evBytes, c: c, data: chunk})
+			if !c.io.in.Push(ioEvent{kind: evBytes, c: c, data: chunk}) {
+				// Queue closed (engine shutdown): the IoThread will never
+				// see the chunk, so recycle it here.
+				RecycleReadChunk(chunk)
+			}
+		} else if chunk != nil {
+			// Zero-length chunk (an empty WebSocket message): nothing to
+			// feed, but the buffer may be pool-backed.
+			RecycleReadChunk(chunk)
 		}
 		if err != nil {
 			c.io.in.Push(ioEvent{kind: evClose, c: c})
@@ -432,9 +444,16 @@ type Stats struct {
 	// no subscriber for the topic (see metrics.RoutingCounters).
 	DeliverRouted  int64
 	DeliverSkipped int64
-	BytesOut       int64
-	Gbps           float64
-	CPUUtilized    float64
+	// FanoutEvents counts grouped write events pushed from Workers to
+	// IoThreads (≤ IoThreads per delivered message); IOFlushes/IOFlushBytes
+	// count transport writes and the bytes they carried (see
+	// metrics.EgressCounters).
+	FanoutEvents int64
+	IOFlushes    int64
+	IOFlushBytes int64
+	BytesOut     int64
+	Gbps         float64
+	CPUUtilized  float64
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -447,6 +466,9 @@ func (e *Engine) Stats() Stats {
 		Retransmitted:  e.stats.retransmitted.Value(),
 		DeliverRouted:  e.stats.routing.Routed.Value(),
 		DeliverSkipped: e.stats.routing.Skipped.Value(),
+		FanoutEvents:   e.stats.egress.FanoutEvents.Value(),
+		IOFlushes:      e.stats.egress.Flushes.Value(),
+		IOFlushBytes:   e.stats.egress.FlushBytes.Value(),
 		BytesOut:       e.traffic.Bytes(),
 		Gbps:           e.traffic.Gbps(),
 		CPUUtilized:    e.cpu.Utilization(),

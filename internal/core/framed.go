@@ -18,6 +18,7 @@ import (
 	"net"
 	"time"
 
+	"migratorydata/internal/bufpool"
 	"migratorydata/internal/websocket"
 )
 
@@ -30,7 +31,9 @@ const defaultWriteTimeout = 30 * time.Second
 // identical over raw framed TCP and WebSocket.
 type Framed interface {
 	// ReadChunk returns the next received bytes; they may contain partial
-	// protocol frames (reassembly is the IoThread's job).
+	// protocol frames (reassembly is the IoThread's job). The returned
+	// buffer may be pool-backed: the consumer owns it until it calls
+	// RecycleReadChunk, after which it must not be touched again.
 	ReadChunk() ([]byte, error)
 	// WriteBatch writes one or more already-encoded protocol frames in a
 	// single transport operation.
@@ -41,26 +44,35 @@ type Framed interface {
 	RemoteAddr() string
 }
 
+// RecycleReadChunk returns a chunk obtained from Framed.ReadChunk to the
+// buffer pool. The IoThread calls it once the chunk has been fed to the
+// client's decoder; chunks that never reach an IoThread (push on a closed
+// queue) are recycled by the reader. Safe on any chunk: buffers the pool
+// does not recognize are simply left to the GC.
+func RecycleReadChunk(chunk []byte) {
+	bufpool.Put(chunk)
+}
+
 // rawFramed carries protocol frames directly on a net.Conn.
 type rawFramed struct {
 	conn net.Conn
-	buf  []byte
 }
 
 // NewRawFramed wraps a net.Conn carrying raw protocol frames.
 func NewRawFramed(conn net.Conn) Framed {
-	return &rawFramed{conn: conn, buf: make([]byte, 8192)}
+	return &rawFramed{conn: conn}
 }
 
-// ReadChunk implements Framed. The returned slice is a copy: it outlives
-// this call on the IoThread queue.
+// ReadChunk implements Framed. Each call reads directly into a pooled
+// buffer and hands it off — no per-read copy, no per-read allocation; the
+// consumer releases it via RecycleReadChunk after decoding.
 func (r *rawFramed) ReadChunk() ([]byte, error) {
-	n, err := r.conn.Read(r.buf)
+	buf := bufpool.Get(bufpool.ClassSize)
+	n, err := r.conn.Read(buf)
 	if n > 0 {
-		out := make([]byte, n)
-		copy(out, r.buf[:n])
-		return out, err
+		return buf[:n], err
 	}
+	bufpool.Put(buf)
 	return nil, err
 }
 
@@ -83,8 +95,10 @@ type wsFramed struct {
 }
 
 // NewWebSocketFramed wraps an established (post-handshake) WebSocket
-// connection.
+// connection. Message payloads are read into pooled buffers (released by
+// the IoThread via RecycleReadChunk, like raw chunks).
 func NewWebSocketFramed(ws *websocket.Conn) Framed {
+	ws.SetPayloadAlloc(bufpool.Get)
 	return &wsFramed{ws: ws}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"migratorydata/internal/queue"
@@ -14,10 +15,18 @@ const (
 	evBytes ioEventKind = iota + 1
 	// evWrite carries an encoded frame (or batch) to send to a client.
 	evWrite
+	// evWriteMulti carries one encoded frame shared by every client in a
+	// pooled write set — the grouped fan-out path: a Worker delivering to N
+	// subscribers pinned to this IoThread enqueues one of these instead of
+	// N evWrite events.
+	evWriteMulti
 	// evClose requests connection teardown.
 	evClose
 	// evTick drives time-based batch flushing.
 	evTick
+	// evFunc runs a closure on the IoThread loop (introspection and tests:
+	// ioThread-owned state can be read without races only from here).
+	evFunc
 )
 
 // ioEvent is one unit of IoThread work.
@@ -25,6 +34,30 @@ type ioEvent struct {
 	kind ioEventKind
 	c    *Client
 	data []byte
+	set  *writeSet // evWriteMulti payload
+	fn   func()    // evFunc payload
+}
+
+// writeSet is a pooled list of fan-out targets for one evWriteMulti event.
+// A Worker fills it, the receiving IoThread drains it and returns it to the
+// pool, so steady-state grouped fan-out allocates nothing.
+type writeSet struct {
+	clients []*Client
+}
+
+var writeSetPool = sync.Pool{New: func() any { return new(writeSet) }}
+
+// getWriteSet returns an empty writeSet from the pool.
+func getWriteSet() *writeSet { return writeSetPool.Get().(*writeSet) }
+
+// release clears the client references (so the GC can reclaim torn-down
+// clients) and returns the set to the pool.
+func (ws *writeSet) release() {
+	for i := range ws.clients {
+		ws.clients[i] = nil
+	}
+	ws.clients = ws.clients[:0]
+	writeSetPool.Put(ws)
 }
 
 // ioThread is one I/O-layer thread (paper §4): it owns the read-side
@@ -74,19 +107,40 @@ func (t *ioThread) handle(ev *ioEvent) {
 		t.handleBytes(ev.c, ev.data)
 	case evWrite:
 		t.handleWrite(ev.c, ev.data)
+	case evWriteMulti:
+		t.handleWriteMulti(ev.set, ev.data)
 	case evClose:
 		t.teardown(ev.c)
 	case evTick:
 		t.flushDue()
+	case evFunc:
+		ev.fn()
 	}
+}
+
+// do runs fn on the IoThread loop and waits for it to complete, reporting
+// false without running fn if the thread has shut down. Tests use it to
+// inspect ioThread-owned state (pendingFlush, batchers) without races.
+func (t *ioThread) do(fn func()) bool {
+	done := make(chan struct{})
+	if !t.in.Push(ioEvent{kind: evFunc, fn: func() {
+		defer close(done)
+		fn()
+	}}) {
+		return false
+	}
+	<-done
+	return true
 }
 
 // handleBytes feeds received bytes to the client's decoder and dispatches
 // every complete message to the client's Worker ("Whenever an IoThread
 // receives enough bytes from a client to decode them as a MigratoryData
 // message, it adds that message to the queue of the Worker assigned to that
-// client", §4).
+// client", §4). The chunk is pool-backed and dead once fed, so it is
+// recycled here — the read path's steady state allocates nothing.
 func (t *ioThread) handleBytes(c *Client, data []byte) {
+	defer RecycleReadChunk(data)
 	if c.closed.Load() {
 		return
 	}
@@ -112,11 +166,35 @@ func (t *ioThread) handleWrite(c *Client, frame []byte) {
 	if c.closed.Load() {
 		return
 	}
-	out := c.batcher.Add(time.Now(), frame)
+	t.batchFrame(c, frame, time.Now())
+}
+
+// handleWriteMulti feeds one shared frame into the batcher of every client
+// in the set — the IoThread half of grouped fan-out. One time.Now() covers
+// the whole set, and the set returns to its pool afterwards.
+func (t *ioThread) handleWriteMulti(set *writeSet, frame []byte) {
+	now := time.Now()
+	for _, c := range set.clients {
+		if c.closed.Load() {
+			continue
+		}
+		t.batchFrame(c, frame, now)
+	}
+	set.release()
+}
+
+// batchFrame adds one frame to c's batcher, writing on a size-triggered (or
+// batching-off) flush and tracking delay-triggered flushes in pendingFlush.
+func (t *ioThread) batchFrame(c *Client, frame []byte, now time.Time) {
+	out := c.batcher.Add(now, frame)
 	if out == nil {
 		t.pendingFlush[c] = struct{}{}
 		return
 	}
+	// The flush drained everything pending for c, so a stale pendingFlush
+	// entry (from frames batched earlier in this interval) must go too —
+	// otherwise every tick would re-visit a client with nothing due.
+	delete(t.pendingFlush, c)
 	t.write(c, out)
 }
 
@@ -151,6 +229,8 @@ func (t *ioThread) write(c *Client, out []byte) {
 		t.teardown(c)
 		return
 	}
+	t.engine.stats.egress.Flushes.Inc()
+	t.engine.stats.egress.FlushBytes.Add(int64(len(out)))
 	t.engine.traffic.AddBytes(int64(len(out)))
 }
 

@@ -63,6 +63,14 @@ type worker struct {
 
 	// conflator aggregates per-topic deliveries when conflation is on.
 	conflator *batch.Conflator[conflated]
+
+	// ioBuckets and ioEvents are the grouped fan-out scratch, both indexed
+	// by ioThread. fanOut buckets a topic's subscribers into per-ioThread
+	// write sets (ioBuckets), stages one evWriteMulti per non-empty bucket
+	// (ioEvents), and flushEgress hands each ioThread its staged events in
+	// a single queue operation. Only this worker goroutine touches them.
+	ioBuckets []*writeSet
+	ioEvents  [][]ioEvent
 }
 
 func newWorker(index int, e *Engine) *worker {
@@ -72,6 +80,8 @@ func newWorker(index int, e *Engine) *worker {
 		engine:      e,
 		subsByTopic: make(map[string]map[*Client]struct{}),
 		conflator:   batch.NewConflator[conflated](e.cfg.ConflationInterval, nil),
+		ioBuckets:   make([]*writeSet, e.cfg.IoThreads),
+		ioEvents:    make([][]ioEvent, e.cfg.IoThreads),
 	}
 }
 
@@ -125,6 +135,7 @@ func (w *worker) do(fn func()) bool {
 
 func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
 	if c.closed.Load() {
+		protocol.ReleasePayload(m)
 		return
 	}
 	switch m.Kind {
@@ -139,8 +150,13 @@ func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
 	case protocol.KindUnsubscribe:
 		w.unsubscribe(c, m)
 	case protocol.KindPublish:
+		// The publish path retains m.Payload (the sequencer appends it to
+		// the history cache), so a pooled decode buffer must be detached
+		// before it escapes; everything else below dies with the event.
+		m.Payload = protocol.UnpoolPayload(m.Payload)
 		w.engine.stats.published.Inc()
 		w.engine.publish(c, m)
+		return
 	case protocol.KindPing:
 		c.Send(&protocol.Message{Kind: protocol.KindPong, Timestamp: m.Timestamp})
 	case protocol.KindDisconnect:
@@ -152,6 +168,10 @@ func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
 			"kind", m.Kind, "client", c.RemoteAddr())
 		c.CloseAsync()
 	}
+	// No branch above retains the message, so its (pooled) payload can go
+	// back to the pool. Normal control messages carry none; this reclaims
+	// the buffer when a client puts a payload where it doesn't belong.
+	protocol.ReleasePayload(m)
 }
 
 // subscribe registers the client for each topic and replays missed messages
@@ -218,23 +238,78 @@ func (w *worker) deliver(topic string, e cache.Entry, frame []byte) {
 	w.fanOut(topic, frame)
 }
 
-// fanOut sends an encoded frame to every subscriber of topic on this worker.
+// fanOut sends an encoded frame to every subscriber of topic on this
+// worker, grouped by owning ioThread: the per-delivery queue cost is one
+// evWriteMulti push per ioThread with subscribers, not one evWrite per
+// subscriber — O(ioThreads) instead of O(subscribers) mutex acquisitions
+// per delivered message.
 func (w *worker) fanOut(topic string, frame []byte) {
+	w.stageFanout(topic, frame)
+	w.flushEgress()
+}
+
+// stageFanout buckets topic's subscribers by ioThread and appends one
+// staged evWriteMulti per non-empty bucket; flushEgress pushes the staged
+// events out. Split from fanOut so flushConflated can stage several
+// aggregates and flush them to each ioThread in one queue operation.
+func (w *worker) stageFanout(topic string, frame []byte) {
 	set := w.subsByTopic[topic]
 	if len(set) == 0 {
 		return
 	}
 	for c := range set {
-		c.SendFrame(frame)
+		ws := w.ioBuckets[c.io.index]
+		if ws == nil {
+			ws = getWriteSet()
+			w.ioBuckets[c.io.index] = ws
+		}
+		ws.clients = append(ws.clients, c)
+	}
+	for ti, ws := range w.ioBuckets {
+		if ws == nil {
+			continue
+		}
+		w.ioBuckets[ti] = nil
+		w.ioEvents[ti] = append(w.ioEvents[ti], ioEvent{kind: evWriteMulti, set: ws, data: frame})
 	}
 	w.engine.stats.delivered.Add(int64(len(set)))
 }
 
-// flushConflated emits due conflation aggregates.
-func (w *worker) flushConflated() {
-	for _, agg := range w.conflator.Drain(time.Now()) {
-		w.fanOut(agg.Topic, aggregateFrame(agg))
+// flushEgress pushes every staged fan-out event to its ioThread — one
+// PushAll per ioThread regardless of how many deliveries were staged. The
+// event slices are reused (PushAll copies), so the steady state allocates
+// nothing on the worker side.
+func (w *worker) flushEgress() {
+	for ti, evs := range w.ioEvents {
+		if len(evs) == 0 {
+			continue
+		}
+		if w.engine.ioThreads[ti].in.PushAll(evs) {
+			w.engine.stats.egress.FanoutEvents.Add(int64(len(evs)))
+		} else {
+			// Queue closed during shutdown: nobody will drain the sets.
+			for i := range evs {
+				evs[i].set.release()
+			}
+		}
+		for i := range evs {
+			evs[i] = ioEvent{}
+		}
+		w.ioEvents[ti] = evs[:0]
 	}
+}
+
+// flushConflated emits due conflation aggregates, staging them all before a
+// single egress flush.
+func (w *worker) flushConflated() {
+	aggs := w.conflator.Drain(time.Now())
+	if len(aggs) == 0 {
+		return
+	}
+	for _, agg := range aggs {
+		w.stageFanout(agg.Topic, aggregateFrame(agg))
+	}
+	w.flushEgress()
 }
 
 // aggregateFrame returns the wire frame for one conflation aggregate. A

@@ -186,6 +186,9 @@ func RunClusterScenario(cfg ClusterScenario) (Result, error) {
 		res.Gbps += st.Gbps
 		res.DeliverRouted += st.DeliverRouted
 		res.DeliverSkipped += st.DeliverSkipped
+		res.FanoutEvents += st.FanoutEvents
+		res.IOFlushes += st.IOFlushes
+		res.IOFlushBytes += st.IOFlushBytes
 	}
 	res.CPU /= float64(len(engines))
 	return res, nil

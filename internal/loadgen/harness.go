@@ -107,6 +107,13 @@ type Result struct {
 	// fan-out (cumulative over the run, warm-up included).
 	DeliverRouted  int64
 	DeliverSkipped int64
+	// FanoutEvents/IOFlushes/IOFlushBytes snapshot the engine's egress
+	// counters (summed over members on cluster runs): grouped write events
+	// pushed to ioThreads, transport write operations, and bytes written —
+	// IOFlushBytes/IOFlushes is the achieved output batch size.
+	FanoutEvents int64
+	IOFlushes    int64
+	IOFlushBytes int64
 	// PayloadsForwarded/PayloadsSuppressed snapshot the cluster-layer
 	// interest-routing counters summed over all members: full-payload
 	// replicas shipped between nodes vs. replicas downgraded to
@@ -242,6 +249,9 @@ func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
 		Gaps:           bs.Gaps(),
 		DeliverRouted:  st.DeliverRouted,
 		DeliverSkipped: st.DeliverSkipped,
+		FanoutEvents:   st.FanoutEvents,
+		IOFlushes:      st.IOFlushes,
+		IOFlushBytes:   st.IOFlushBytes,
 	}, nil
 }
 

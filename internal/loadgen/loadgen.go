@@ -178,7 +178,12 @@ func (b *Benchsub) readLoop(sc *subConn) error {
 	if conn == nil {
 		return errors.New("loadgen: no connection")
 	}
+	// Pooled payloads: a subscriber fleet decodes every delivered NOTIFY,
+	// so this loop is the client-side analogue of the engine's read path.
+	// observe retains nothing from the payload, so each buffer goes
+	// straight back to the pool.
 	var dec protocol.StreamDecoder
+	dec.PoolPayloads = true
 	buf := make([]byte, b.cfg.ReadBuffer)
 	for {
 		n, err := conn.Read(buf)
@@ -192,10 +197,10 @@ func (b *Benchsub) readLoop(sc *subConn) error {
 				if m == nil {
 					break
 				}
-				if m.Kind != protocol.KindNotify {
-					continue
+				if m.Kind == protocol.KindNotify {
+					b.observe(sc, m)
 				}
-				b.observe(sc, m)
+				protocol.ReleasePayload(m)
 			}
 		}
 		if err != nil {

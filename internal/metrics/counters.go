@@ -33,6 +33,21 @@ type RoutingCounters struct {
 	Skipped Counter
 }
 
+// EgressCounters tracks the grouped egress pipeline. FanoutEvents counts
+// grouped write events pushed from Workers to IoThreads ("fanout_events") —
+// with per-ioThread fan-out batching this grows by at most the number of
+// IoThreads per delivered message, where the naive path grew by one per
+// subscriber, so fanout_events / deliver_events_routed per publication
+// exposes the queue-traffic reduction directly. Flushes counts transport
+// write operations ("io_flushes") and FlushBytes the bytes they carried
+// ("io_flush_bytes"); FlushBytes/Flushes is the achieved batch size, the
+// quantity the paper's batching technique exists to raise.
+type EgressCounters struct {
+	FanoutEvents Counter
+	Flushes      Counter
+	FlushBytes   Counter
+}
+
 // PayloadCounters tracks interest-aware cluster replication. Forwarded
 // counts full-payload replicas sent to peers ("cluster_payloads_forwarded");
 // Suppressed counts replicas downgraded to metadata-only frames because the

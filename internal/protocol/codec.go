@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"migratorydata/internal/bufpool"
 )
 
 // Frame layout: [u32 big-endian body length][body].
@@ -63,7 +65,47 @@ func Encode(m *Message) []byte {
 
 // DecodeBody decodes a frame body (excluding the 4-byte length prefix).
 func DecodeBody(body []byte) (*Message, error) {
-	d := bodyReader{buf: body}
+	return decodeBody(body, false)
+}
+
+// DecodeBodyPooled decodes like DecodeBody but draws the payload copy from
+// the shared buffer pool instead of the heap. The caller owns the payload:
+// once the message is done it returns the buffer with ReleasePayload, or —
+// if the payload must outlive the message (the publish path retains it in
+// the history cache) — detaches it first with UnpoolPayload. Every other
+// field still allocates normally.
+func DecodeBodyPooled(body []byte) (*Message, error) {
+	return decodeBody(body, true)
+}
+
+// ReleasePayload recycles a pooled payload and clears it from m. Safe on
+// any message: non-pooled payloads are simply left to the GC. Callers must
+// be certain nothing else references the payload bytes.
+func ReleasePayload(m *Message) {
+	if m == nil || m.Payload == nil {
+		return
+	}
+	bufpool.Put(m.Payload)
+	m.Payload = nil
+}
+
+// UnpoolPayload returns payload bytes safe to retain indefinitely: a pooled
+// buffer is copied to an exact-size heap allocation and recycled, anything
+// else is returned unchanged. The publish path calls this before handing a
+// decoded payload to the history cache — retaining the pooled buffer there
+// would pin a whole pool class slot per cached entry.
+func UnpoolPayload(b []byte) []byte {
+	if cap(b) != bufpool.ClassSize {
+		return b
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	bufpool.Put(b)
+	return out
+}
+
+func decodeBody(body []byte, pooled bool) (*Message, error) {
+	d := bodyReader{buf: body, pooled: pooled}
 	kind, err := d.u8()
 	if err != nil {
 		return nil, err
@@ -87,7 +129,7 @@ func DecodeBody(body []byte) (*Message, error) {
 	if m.ID, err = d.str(); err != nil {
 		return nil, err
 	}
-	if m.Payload, err = d.bytes(); err != nil {
+	if m.Payload, err = d.payload(); err != nil {
 		return nil, err
 	}
 	epoch, err := d.uvarint()
@@ -154,8 +196,9 @@ func appendBytes(dst []byte, b []byte) []byte {
 
 // bodyReader is a bounds-checked sequential reader over a frame body.
 type bodyReader struct {
-	buf []byte
-	off int
+	buf    []byte
+	off    int
+	pooled bool // payload copies come from bufpool (see DecodeBodyPooled)
 }
 
 func (d *bodyReader) u8() (uint8, error) {
@@ -186,14 +229,22 @@ func (d *bodyReader) uvarint() (uint64, error) {
 }
 
 func (d *bodyReader) str() (string, error) {
-	b, err := d.bytes()
+	n, err := d.uvarint()
 	if err != nil {
 		return "", err
 	}
-	return string(b), nil
+	if n > uint64(len(d.buf)-d.off) {
+		return "", ErrTruncated
+	}
+	// The string conversion is the single copy out of the frame buffer.
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
 }
 
-func (d *bodyReader) bytes() ([]byte, error) {
+// payload reads the payload field, copying it out of the frame buffer (which
+// the stream decoder recycles) — from the buffer pool in pooled mode.
+func (d *bodyReader) payload() ([]byte, error) {
 	n, err := d.uvarint()
 	if err != nil {
 		return nil, err
@@ -204,8 +255,12 @@ func (d *bodyReader) bytes() ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	// Copy out: the frame buffer is recycled by the decoder.
-	out := make([]byte, n)
+	var out []byte
+	if d.pooled {
+		out = bufpool.Get(int(n))
+	} else {
+		out = make([]byte, n)
+	}
 	copy(out, d.buf[d.off:])
 	d.off += int(n)
 	return out, nil

@@ -1,0 +1,98 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"migratorydata/internal/bufpool"
+)
+
+func pooledRoundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	frame := Encode(m)
+	got, err := DecodeBodyPooled(frame[4:])
+	if err != nil {
+		t.Fatalf("DecodeBodyPooled: %v", err)
+	}
+	return got
+}
+
+func TestDecodeBodyPooledMatchesDecodeBody(t *testing.T) {
+	m := &Message{
+		Kind: KindPublish, Topic: "sport/tennis", ID: "p:1",
+		Payload: bytes.Repeat([]byte{0x5A}, 140), Epoch: 3, Seq: 99,
+		Timestamp: 123456789,
+	}
+	got := pooledRoundTrip(t, m)
+	if got.Topic != m.Topic || got.ID != m.ID || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("pooled decode mismatch: %+v", got)
+	}
+	if cap(got.Payload) != bufpool.ClassSize {
+		t.Fatalf("payload cap = %d, want pool class %d", cap(got.Payload), bufpool.ClassSize)
+	}
+	ReleasePayload(got)
+	if got.Payload != nil {
+		t.Fatal("ReleasePayload did not clear the payload")
+	}
+	ReleasePayload(got) // idempotent on a cleared message
+	ReleasePayload(nil) // and nil-safe
+}
+
+func TestDecodeBodyPooledOversizedPayload(t *testing.T) {
+	m := &Message{Kind: KindPublish, Topic: "t", Payload: make([]byte, bufpool.ClassSize+10)}
+	got := pooledRoundTrip(t, m)
+	if len(got.Payload) != bufpool.ClassSize+10 {
+		t.Fatalf("payload len = %d", len(got.Payload))
+	}
+	// Oversized payloads bypass the pool; releasing them is a harmless no-op.
+	ReleasePayload(got)
+}
+
+func TestUnpoolPayloadDetaches(t *testing.T) {
+	m := pooledRoundTrip(t, &Message{Kind: KindPublish, Topic: "t", Payload: []byte("retained-by-cache")})
+	detached := UnpoolPayload(m.Payload)
+	if string(detached) != "retained-by-cache" {
+		t.Fatalf("detached payload = %q", detached)
+	}
+	if cap(detached) == bufpool.ClassSize {
+		t.Fatal("UnpoolPayload returned a pool-class buffer: it would pin a pool slot")
+	}
+	// Overwrite a recycled class buffer; the detached copy must not change.
+	b := bufpool.Get(64)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	if string(detached) != "retained-by-cache" {
+		t.Fatal("detached payload aliases the recycled pool buffer")
+	}
+	bufpool.Put(b)
+
+	// Non-pooled buffers pass through untouched (same backing array).
+	plain := []byte("plain")
+	if got := UnpoolPayload(plain); &got[0] != &plain[0] {
+		t.Fatal("UnpoolPayload copied a non-pooled buffer")
+	}
+	if got := UnpoolPayload(nil); got != nil {
+		t.Fatal("UnpoolPayload(nil) != nil")
+	}
+}
+
+// TestStreamDecoderPooledPayloads drives the decoder exactly as an IoThread
+// does — feed chunks, pop messages — and checks the pooled-mode ownership
+// contract plus the steady-state allocation profile of the payload buffers.
+func TestStreamDecoderPooledPayloads(t *testing.T) {
+	var dec StreamDecoder
+	dec.PoolPayloads = true
+	frame := Encode(&Message{Kind: KindNotify, Topic: "t", Payload: make([]byte, 140), Seq: 1})
+	for i := 0; i < 100; i++ {
+		dec.Feed(frame)
+		m, err := dec.Next()
+		if err != nil || m == nil {
+			t.Fatalf("iteration %d: %v %v", i, m, err)
+		}
+		if len(m.Payload) != 140 || cap(m.Payload) != bufpool.ClassSize {
+			t.Fatalf("payload len/cap = %d/%d", len(m.Payload), cap(m.Payload))
+		}
+		ReleasePayload(m)
+	}
+}

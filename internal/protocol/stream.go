@@ -15,6 +15,11 @@ import (
 // IoThread touches a given client's decoder.
 type StreamDecoder struct {
 	buf []byte
+
+	// PoolPayloads makes Next decode message payloads into pool-backed
+	// buffers (see DecodeBodyPooled). The decoder's owner then owns every
+	// returned payload and must ReleasePayload (or UnpoolPayload) each one.
+	PoolPayloads bool
 }
 
 // Feed appends newly-received bytes to the pending buffer.
@@ -36,7 +41,7 @@ func (s *StreamDecoder) Next() (*Message, error) {
 	if len(s.buf) < total {
 		return nil, nil
 	}
-	m, err := DecodeBody(s.buf[headerSize:total])
+	m, err := decodeBody(s.buf[headerSize:total], s.PoolPayloads)
 	if err != nil {
 		return nil, err
 	}

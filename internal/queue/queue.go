@@ -60,15 +60,19 @@ func (q *MPSC[T]) adoptSpareLocked() {
 	}
 }
 
-// PushAll appends a batch of items with a single lock acquisition.
-func (q *MPSC[T]) PushAll(items []T) {
+// PushAll appends a batch of items with a single lock acquisition. The
+// items are copied, so the caller may reuse the slice immediately. Like
+// Push, it reports false on a closed queue — the whole batch is dropped and
+// the caller owns any cleanup (an accepted batch is guaranteed to be
+// consumed). An empty batch is a no-op and reports true even when closed.
+func (q *MPSC[T]) PushAll(items []T) bool {
 	if len(items) == 0 {
-		return
+		return true
 	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	q.adoptSpareLocked()
 	wasEmpty := len(q.items) == 0
@@ -77,6 +81,7 @@ func (q *MPSC[T]) PushAll(items []T) {
 	if wasEmpty {
 		q.cond.Signal()
 	}
+	return true
 }
 
 // PopWait blocks until at least one item is available or the queue is

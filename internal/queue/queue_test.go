@@ -33,11 +33,31 @@ func TestPopReturnsWholeBatch(t *testing.T) {
 
 func TestPushAll(t *testing.T) {
 	q := NewMPSC[string]()
-	q.PushAll([]string{"a", "b", "c"})
-	q.PushAll(nil) // no-op
+	if !q.PushAll([]string{"a", "b", "c"}) {
+		t.Fatal("PushAll on open queue reported rejection")
+	}
+	if !q.PushAll(nil) { // no-op, but not a rejection
+		t.Fatal("empty PushAll reported rejection")
+	}
 	batch, ok := q.PopWait()
 	if !ok || len(batch) != 3 || batch[0] != "a" || batch[2] != "c" {
 		t.Fatalf("PopWait = %v, %v", batch, ok)
+	}
+}
+
+func TestPushAllAfterCloseReportsFalse(t *testing.T) {
+	q := NewMPSC[int]()
+	q.Close()
+	if q.PushAll([]int{1, 2}) {
+		t.Fatal("PushAll on closed queue reported success")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("closed queue accepted items: Len = %d", q.Len())
+	}
+	// An empty batch never fails, even closed: there is nothing to drop,
+	// so callers owe no cleanup.
+	if !q.PushAll(nil) {
+		t.Fatal("empty PushAll on closed queue reported rejection")
 	}
 }
 

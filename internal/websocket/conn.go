@@ -37,9 +37,18 @@ type Conn struct {
 	isServer bool // servers expect masked frames and send unmasked ones
 
 	writeMu  sync.Mutex
-	writeBuf []byte
+	writeBuf []byte      // masked-path scratch: header + masked payload copy
+	hdrBuf   []byte      // unmasked-path scratch: frame header only
+	iovecArr [2][]byte   // unmasked-path scratch storage: header, payload
+	iovec    net.Buffers // view over iovecArr handed to WriteTo
 
 	maxMessage int
+
+	// payloadAlloc, when set, allocates the buffers data-frame payloads are
+	// read into (the engine installs a pool allocator here). The buffer is
+	// handed to the ReadMessage caller, which takes ownership; control-frame
+	// payloads stay on plain make because they die inside the read loop.
+	payloadAlloc func(int) []byte
 
 	rng   *rand.Rand
 	rngMu sync.Mutex
@@ -73,6 +82,20 @@ func (c *Conn) SetMaxMessageSize(n int) {
 	}
 }
 
+// SetPayloadAlloc installs fn as the allocator for data-message payload
+// buffers returned by ReadMessage. Callers that install a pool allocator
+// take responsibility for recycling the returned payloads. fn must return a
+// buffer of exactly the requested length.
+func (c *Conn) SetPayloadAlloc(fn func(int) []byte) { c.payloadAlloc = fn }
+
+// allocPayload returns a buffer for an n-byte data payload.
+func (c *Conn) allocPayload(n int) []byte {
+	if c.payloadAlloc != nil {
+		return c.payloadAlloc(n)
+	}
+	return make([]byte, n)
+}
+
 // NetConn returns the underlying transport connection.
 func (c *Conn) NetConn() net.Conn { return c.conn }
 
@@ -95,7 +118,17 @@ func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 			c.writeClose(CloseMessageTooBig, "message too big")
 			return 0, nil, ErrMessageTooLarge
 		}
-		payload := make([]byte, h.length)
+		// Only unfragmented data payloads use the installed allocator: they
+		// are handed to the caller, who owns (and may recycle) them. Control
+		// payloads die inside this loop, and fragment payloads feed the
+		// reassembly buffer (whose growth would abandon a pooled array), so
+		// pooling either would leak pool slots.
+		var payload []byte
+		if h.fin && (h.opcode == OpText || h.opcode == OpBinary) {
+			payload = c.allocPayload(int(h.length))
+		} else {
+			payload = make([]byte, h.length)
+		}
 		if _, err := io.ReadFull(c.br, payload); err != nil {
 			return 0, nil, err
 		}
@@ -168,6 +201,13 @@ func (c *Conn) WriteControl(op Opcode, payload []byte) error {
 }
 
 // writeFrame encodes and sends a single frame, masking if client-side.
+//
+// The server (unmasked) path is the engine's egress hot path: the header is
+// built in a reused per-conn scratch and written together with the payload
+// through a reused net.Buffers vector, so one frame — and therefore one
+// WriteBatch carrying a whole output batch — is one writev syscall with no
+// payload copy. Only the masked client path still copies, because masking
+// must not mutate the caller's (possibly shared) payload.
 func (c *Conn) writeFrame(fin bool, op Opcode, payload []byte) error {
 	var mask [4]byte
 	masked := !c.isServer
@@ -178,12 +218,25 @@ func (c *Conn) writeFrame(fin bool, op Opcode, payload []byte) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if !masked {
+		c.hdrBuf = appendFrameHeader(c.hdrBuf[:0], fin, op, false, mask, len(payload))
+		if len(payload) == 0 {
+			_, err := c.conn.Write(c.hdrBuf)
+			return err
+		}
+		// WriteTo consumes the vector (it advances entries as they drain),
+		// so rebuild the view over the fixed scratch array every write, and
+		// clear it afterwards so a shared fan-out payload is not pinned.
+		c.iovecArr[0], c.iovecArr[1] = c.hdrBuf, payload
+		c.iovec = net.Buffers(c.iovecArr[:])
+		_, err := c.iovec.WriteTo(c.conn)
+		c.iovecArr[0], c.iovecArr[1] = nil, nil
+		return err
+	}
 	c.writeBuf = appendFrameHeader(c.writeBuf[:0], fin, op, masked, mask, len(payload))
 	start := len(c.writeBuf)
 	c.writeBuf = append(c.writeBuf, payload...)
-	if masked {
-		applyMask(c.writeBuf[start:], mask, 0)
-	}
+	applyMask(c.writeBuf[start:], mask, 0)
 	_, err := c.conn.Write(c.writeBuf)
 	return err
 }

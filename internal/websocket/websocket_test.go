@@ -295,3 +295,57 @@ func BenchmarkEcho140B(b *testing.B) {
 		}
 	}
 }
+
+// TestServerSequentialWritesScratchReuse exercises the server's vectored
+// write path (scratch header + net.Buffers): back-to-back unmasked writes of
+// varying sizes must not corrupt each other through the reused scratch, the
+// payload must arrive unmutated, and a pooled payload allocator must be
+// used for data frames.
+func TestServerSequentialWritesScratchReuse(t *testing.T) {
+	client, server := pair(t)
+	sizes := []int{0, 1, 125, 126, 4096, 65535, 65536}
+	done := make(chan error, 1)
+	go func() {
+		for _, size := range sizes {
+			msg := bytes.Repeat([]byte{byte(size % 251)}, size)
+			if err := server.WriteMessage(OpBinary, msg); err != nil {
+				done <- err
+				return
+			}
+			// The caller's payload must not have been mutated (the server
+			// path writes it zero-copy, no masking).
+			for i := range msg {
+				if msg[i] != byte(size%251) {
+					done <- errors.New("server write mutated the payload")
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+	var allocCalls int
+	client.SetPayloadAlloc(func(n int) []byte {
+		allocCalls++
+		return make([]byte, n)
+	})
+	for _, size := range sizes {
+		_, got, err := client.ReadMessage()
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(got) != size {
+			t.Fatalf("size %d: got %d bytes", size, len(got))
+		}
+		for i := range got {
+			if got[i] != byte(size%251) {
+				t.Fatalf("size %d: payload corrupted at %d", size, i)
+			}
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if allocCalls != len(sizes) {
+		t.Fatalf("payload allocator used for %d of %d data frames", allocCalls, len(sizes))
+	}
+}
