@@ -120,6 +120,9 @@ func main() {
 						"fanout_events", st.FanoutEvents,
 						"io_flushes", st.IOFlushes,
 						"io_flush_bytes", st.IOFlushBytes,
+						"cache_topics", st.CacheTopics,
+						"cache_entries", st.CacheEntries,
+						"cache_bytes", st.CacheBytes,
 						"gbps", fmt.Sprintf("%.3f", st.Gbps),
 						"cpu", fmt.Sprintf("%.1f%%", st.CPUUtilized*100))
 					if n := s.Node(); n != nil {

@@ -8,10 +8,29 @@
 // are locked independently. Because each cluster server coordinates (and
 // thus replicates first) a distinct subset of topic groups, writes are
 // generally un-contended.
+//
+// Two properties matter for the ingest hot path (see docs/ARCHITECTURE.md,
+// "The ingest path"):
+//
+//   - Every method has a *Group variant taking the topic-group index, so a
+//     caller that already hashed the topic (the sequencer, the cluster
+//     replication paths) never re-hashes it, and AppendNext sequences AND
+//     stores a publication under a single group-lock acquisition. The
+//     write-lock acquisitions of the append paths are counted per group
+//     (MemStats.GroupLockAcquisitions) so benchmarks can assert the
+//     one-acquisition-per-publish invariant.
+//
+//   - Per-topic rings grow geometrically from a small initial capacity up
+//     to the configured per-topic cap, so memory is proportional to the
+//     history actually cached, not to topics × cap: at the paper's scale
+//     (millions of users, most topics cold) an eagerly-allocated
+//     1024-slot ring per topic would cost ~64 KB for a topic holding one
+//     message.
 package cache
 
 import (
 	"sync"
+	"unsafe"
 
 	"migratorydata/internal/hashing"
 )
@@ -22,6 +41,12 @@ const DefaultTopicGroups = 100
 
 // DefaultPerTopicCapacity bounds the per-topic history ring.
 const DefaultPerTopicCapacity = 1024
+
+// initialRingCapacity is the ring size allocated for a topic's first
+// message; rings double as they fill, up to the per-topic cap. Cold topics
+// (the overwhelming majority at scale) therefore pay for 8 slots, not for
+// the cap.
+const initialRingCapacity = 8
 
 // Entry is one cached message for a topic. Ordering within a topic is the
 // lexicographic order of (Epoch, Seq): Seq is assigned by the topic-group
@@ -34,6 +59,9 @@ type Entry struct {
 	Payload   []byte
 	Flags     uint8
 }
+
+// entrySize is the in-memory size of one ring slot, used by MemStats.
+const entrySize = int64(unsafe.Sizeof(Entry{}))
 
 // After reports whether e is ordered strictly after position (epoch, seq).
 func (e Entry) After(epoch uint32, seq uint64) bool {
@@ -49,17 +77,60 @@ type Cache struct {
 	perTopicCap int
 }
 
-// group holds the topics of one topic group under a single lock.
+// group holds the topics of one topic group under a single lock. The
+// counters and gauges are guarded by mu (taken for writing on every
+// append), so the hot path pays no atomics and groups share no counter
+// cache line; maintaining them incrementally keeps MemStats O(groups)
+// rather than O(entries) — it must stay cheap enough for wait loops and
+// per-second stats logs even with 100k cold topics cached.
 type group struct {
 	mu     sync.RWMutex
 	topics map[string]*ring
+
+	appends      int64 // successful appends
+	writeLock    int64 // write-lock acquisitions by the append paths
+	entries      int   // live entries across the group's rings
+	slots        int   // allocated ring slots across the group's rings
+	payloadBytes int64 // bytes of live cached payloads
 }
 
-// ring is a fixed-capacity circular history for one topic.
+// ring is a bounded circular history for one topic. The backing array
+// starts at initialRingCapacity and doubles as it fills, up to the cache's
+// per-topic cap; once at cap the ring wraps, overwriting the oldest entry.
 type ring struct {
 	entries []Entry
 	start   int // index of oldest entry
 	length  int
+}
+
+// append stores e, growing the backing array geometrically up to maxCap.
+func (r *ring) append(e Entry, maxCap int) {
+	if r.length == len(r.entries) {
+		if r.length < maxCap {
+			newCap := r.length * 2
+			if newCap > maxCap {
+				newCap = maxCap
+			}
+			grown := make([]Entry, newCap)
+			for i := 0; i < r.length; i++ {
+				grown[i] = r.entries[(r.start+i)%len(r.entries)]
+			}
+			r.entries = grown
+			r.start = 0
+		} else {
+			// At capacity: overwrite the oldest entry.
+			r.entries[r.start] = e
+			r.start = (r.start + 1) % len(r.entries)
+			return
+		}
+	}
+	r.entries[(r.start+r.length)%len(r.entries)] = e
+	r.length++
+}
+
+// newest returns the most recent entry; the caller must know length > 0.
+func (r *ring) newest() Entry {
+	return r.entries[(r.start+r.length-1)%len(r.entries)]
 }
 
 // New returns a cache with numGroups topic groups and perTopicCap history
@@ -89,33 +160,119 @@ func (c *Cache) GroupOf(topic string) int {
 	return hashing.TopicGroup(topic, len(c.groups))
 }
 
+// groupAt returns the group for gid, falling back to hashing the topic when
+// gid is out of range — a *Group caller must never be able to index past the
+// shard array, even fed a wire-supplied group.
+func (c *Cache) groupAt(gid int, topic string) *group {
+	if gid < 0 || gid >= len(c.groups) {
+		gid = c.GroupOf(topic)
+	}
+	return c.groups[gid]
+}
+
+// ringFor returns topic's ring, creating it at the initial capacity on
+// first use. Caller holds g.mu for writing.
+func (c *Cache) ringFor(g *group, topic string) *ring {
+	r := g.topics[topic]
+	if r == nil {
+		cap := initialRingCapacity
+		if cap > c.perTopicCap {
+			cap = c.perTopicCap
+		}
+		r = &ring{entries: make([]Entry, cap)}
+		g.topics[topic] = r
+		g.slots += cap
+	}
+	return r
+}
+
+// push appends e to r, keeping g's incremental gauges in sync. Caller
+// holds g.mu for writing.
+func (c *Cache) push(g *group, r *ring, e Entry) {
+	if r.length == len(r.entries) && r.length >= c.perTopicCap {
+		// The ring is at capacity: the oldest entry is evicted.
+		g.payloadBytes -= int64(len(r.entries[r.start].Payload))
+	} else {
+		g.entries++
+	}
+	slotsBefore := len(r.entries)
+	r.append(e, c.perTopicCap)
+	g.slots += len(r.entries) - slotsBefore
+	g.payloadBytes += int64(len(e.Payload))
+	g.appends++
+}
+
+// appendLocked stores e in topic's history if it is ordered strictly after
+// the newest cached entry. Caller holds g.mu for writing.
+func (c *Cache) appendLocked(g *group, topic string, e Entry) bool {
+	r := c.ringFor(g, topic)
+	if r.length > 0 {
+		newest := r.newest()
+		if !e.After(newest.Epoch, newest.Seq) {
+			return false
+		}
+	}
+	c.push(g, r, e)
+	return true
+}
+
 // Append stores e in topic's history. It returns false (and stores nothing)
 // if e is not ordered strictly after the newest cached entry — replication
 // may legitimately deliver a message twice (§3 allows duplicates), and the
 // cache keeps appends idempotent.
 func (c *Cache) Append(topic string, e Entry) bool {
-	g := c.groups[c.GroupOf(topic)]
+	return c.AppendGroup(c.GroupOf(topic), topic, e)
+}
+
+// AppendGroup is Append for callers that already know the topic's group,
+// saving the topic hash.
+func (c *Cache) AppendGroup(gid int, topic string, e Entry) bool {
+	g := c.groupAt(gid, topic)
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	r := g.topics[topic]
-	if r == nil {
-		r = &ring{entries: make([]Entry, c.perTopicCap)}
-		g.topics[topic] = r
-	}
-	if r.length > 0 {
-		newest := r.entries[(r.start+r.length-1)%len(r.entries)]
-		if !e.After(newest.Epoch, newest.Seq) {
-			return false
+	g.writeLock++
+	return c.appendLocked(g, topic, e)
+}
+
+// AppendNext sequences and stores the next message of topic under a single
+// group-lock acquisition: it reads the topic's newest cached position and
+// appends e with the successor (epoch, seq), returning the completed entry.
+// e.Epoch proposes the epoch to sequence at (the sequencing authority's
+// epoch — localEpoch on a single node, the coordinator's epoch in a
+// cluster); e.Seq is ignored. The rules mirror the cluster sequencing
+// protocol (§5.2.2):
+//
+//   - empty topic, or newest epoch older than e.Epoch (coordinator
+//     takeover): the stream (re)starts at (e.Epoch, 1);
+//   - newest epoch equal to e.Epoch: continues at seq+1;
+//   - newest epoch NEWER than e.Epoch: the caller's sequencing authority is
+//     stale — nothing is stored and ok is false.
+//
+// Before this existed, a publish paid three group-lock acquisitions
+// (sequencer lock, Position, Append); AppendNext is the whole critical
+// section, and MemStats.GroupLockAcquisitions lets benchmarks assert the
+// exactly-one-acquisition invariant.
+func (c *Cache) AppendNext(gid int, topic string, e Entry) (Entry, bool) {
+	g := c.groupAt(gid, topic)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.writeLock++
+	r := c.ringFor(g, topic)
+	if r.length == 0 {
+		e.Seq = 1
+	} else {
+		newest := r.newest()
+		switch {
+		case newest.Epoch < e.Epoch:
+			e.Seq = 1
+		case newest.Epoch == e.Epoch:
+			e.Seq = newest.Seq + 1
+		default: // newest.Epoch > e.Epoch: stale sequencing authority
+			return Entry{}, false
 		}
 	}
-	if r.length == len(r.entries) {
-		r.entries[r.start] = e
-		r.start = (r.start + 1) % len(r.entries)
-	} else {
-		r.entries[(r.start+r.length)%len(r.entries)] = e
-		r.length++
-	}
-	return true
+	c.push(g, r, e)
+	return e, true
 }
 
 // Since returns up to limit entries of topic ordered strictly after
@@ -123,43 +280,76 @@ func (c *Cache) Append(topic string, e Entry) bool {
 // is freshly allocated; entries are shared (callers must not mutate
 // payloads).
 func (c *Cache) Since(topic string, epoch uint32, seq uint64, limit int) []Entry {
-	g := c.groups[c.GroupOf(topic)]
+	return c.AppendSinceGroup(nil, c.GroupOf(topic), topic, epoch, seq, limit)
+}
+
+// SinceGroup is Since for callers that already know the topic's group.
+func (c *Cache) SinceGroup(gid int, topic string, epoch uint32, seq uint64, limit int) []Entry {
+	return c.AppendSinceGroup(nil, gid, topic, epoch, seq, limit)
+}
+
+// AppendSince appends up to limit entries of topic ordered strictly after
+// (epoch, seq) to dst, oldest first, and returns the extended slice — the
+// allocation-free variant of Since for callers that replay history in a
+// loop (subscribe replay, cluster catch-up): a reused buffer makes a
+// reconnect storm cost zero allocations per client instead of one slice
+// each. Entries are shared; callers must not mutate payloads.
+func (c *Cache) AppendSince(dst []Entry, topic string, epoch uint32, seq uint64, limit int) []Entry {
+	return c.AppendSinceGroup(dst, c.GroupOf(topic), topic, epoch, seq, limit)
+}
+
+// AppendSinceGroup is AppendSince for callers that already know the topic's
+// group.
+func (c *Cache) AppendSinceGroup(dst []Entry, gid int, topic string, epoch uint32, seq uint64, limit int) []Entry {
+	g := c.groupAt(gid, topic)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	r := g.topics[topic]
 	if r == nil {
-		return nil
+		return dst
 	}
-	var out []Entry
+	taken := 0
 	for i := 0; i < r.length; i++ {
 		e := r.entries[(r.start+i)%len(r.entries)]
 		if !e.After(epoch, seq) {
 			continue
 		}
-		out = append(out, e)
-		if limit > 0 && len(out) == limit {
+		dst = append(dst, e)
+		taken++
+		if limit > 0 && taken == limit {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
 // Latest returns the newest entry for topic.
 func (c *Cache) Latest(topic string) (Entry, bool) {
-	g := c.groups[c.GroupOf(topic)]
+	return c.LatestGroup(c.GroupOf(topic), topic)
+}
+
+// LatestGroup is Latest for callers that already know the topic's group.
+func (c *Cache) LatestGroup(gid int, topic string) (Entry, bool) {
+	g := c.groupAt(gid, topic)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	r := g.topics[topic]
 	if r == nil || r.length == 0 {
 		return Entry{}, false
 	}
-	return r.entries[(r.start+r.length-1)%len(r.entries)], true
+	return r.newest(), true
 }
 
 // Position returns the (epoch, seq) of the newest entry for topic, or ok ==
 // false if the topic has no history.
 func (c *Cache) Position(topic string) (epoch uint32, seq uint64, ok bool) {
-	e, ok := c.Latest(topic)
+	return c.PositionGroup(c.GroupOf(topic), topic)
+}
+
+// PositionGroup is Position for callers that already know the topic's
+// group.
+func (c *Cache) PositionGroup(gid int, topic string) (epoch uint32, seq uint64, ok bool) {
+	e, ok := c.LatestGroup(gid, topic)
 	if !ok {
 		return 0, 0, false
 	}
@@ -201,4 +391,60 @@ func (c *Cache) Len() int {
 		g.mu.RUnlock()
 	}
 	return total
+}
+
+// MemStats is a point-in-time gauge of the cache's size and ingest
+// activity. Harnesses report it so the memory-proportionality of the ring
+// growth policy (and the one-lock-per-publish invariant) are measurable
+// rather than asserted in prose.
+type MemStats struct {
+	// Topics and Entries count cached topics and live entries.
+	Topics  int
+	Entries int
+	// Slots counts allocated ring slots across all topics. The growth
+	// policy keeps Slots proportional to the cached history (within a 2×
+	// rounding factor), where eager allocation would pin
+	// topics × per-topic-cap slots regardless of use.
+	Slots int
+	// SlotBytes is the memory held by ring slot arrays (Slots × slot
+	// size); PayloadBytes is the memory held by live cached payloads.
+	SlotBytes    int64
+	PayloadBytes int64
+	// Appends counts successful appends since construction.
+	Appends int64
+	// GroupLockAcquisitions counts group write-lock acquisitions by the
+	// append paths (Append/AppendGroup/AppendNext). The ingest benchmark
+	// asserts its delta equals the publish count — the
+	// one-group-lock-acquisition-per-publish invariant.
+	GroupLockAcquisitions int64
+}
+
+// Bytes is the cache's total measured footprint: ring slots plus payloads.
+func (m MemStats) Bytes() int64 { return m.SlotBytes + m.PayloadBytes }
+
+// MemStats returns the cache's current gauge. The per-group values are
+// maintained incrementally on the append path, so this is an O(groups)
+// sweep of read locks — cheap enough for polling wait loops and stats
+// logs regardless of how many topics or entries are cached.
+func (c *Cache) MemStats() MemStats {
+	var m MemStats
+	for _, g := range c.groups {
+		g.mu.RLock()
+		m.Topics += len(g.topics)
+		m.Entries += g.entries
+		m.Slots += g.slots
+		m.PayloadBytes += g.payloadBytes
+		m.Appends += g.appends
+		m.GroupLockAcquisitions += g.writeLock
+		g.mu.RUnlock()
+	}
+	m.SlotBytes = int64(m.Slots) * entrySize
+	return m
+}
+
+// EagerSlotBytes reports what the ring storage for `topics` topics would
+// cost under eager per-topic-cap allocation — the pre-growth-policy
+// baseline the memory tests compare against.
+func (c *Cache) EagerSlotBytes(topics int) int64 {
+	return int64(topics) * int64(c.perTopicCap) * entrySize
 }

@@ -316,3 +316,289 @@ func BenchmarkSince(b *testing.B) {
 		c.Since("bench", 1, 1000, 0)
 	}
 }
+
+func TestRingGrowsGeometrically(t *testing.T) {
+	c := New(4, 1024)
+	slots := func() int { return c.MemStats().Slots }
+	c.Append("t", Entry{Epoch: 1, Seq: 1})
+	if got := slots(); got != initialRingCapacity {
+		t.Fatalf("slots after first append = %d, want %d", got, initialRingCapacity)
+	}
+	for i := 2; i <= initialRingCapacity+1; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	if got := slots(); got != 2*initialRingCapacity {
+		t.Fatalf("slots after overflow = %d, want %d (doubled)", got, 2*initialRingCapacity)
+	}
+	// Contents survive every growth step up to the cap, in order.
+	for i := initialRingCapacity + 2; i <= 3000; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	if got := slots(); got != 1024 {
+		t.Fatalf("slots at cap = %d, want 1024 (never beyond the per-topic cap)", got)
+	}
+	got := c.Since("t", 0, 0, 0)
+	if len(got) != 1024 {
+		t.Fatalf("ring holds %d entries at cap, want 1024", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(3000 - 1024 + 1 + i); e.Seq != want {
+			t.Fatalf("entry %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestRingGrowthPreservesWrappedOrder(t *testing.T) {
+	// Force a grow while start != 0: fill to cap 8 via a small cap... the
+	// initial ring only wraps once it stops growing, so drive a cap-16 ring
+	// past 8, behind a rotated start produced by epoch-ordered overwrites.
+	c := New(4, 16)
+	for i := 1; i <= 8; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	// Ring is exactly full at the initial capacity; the next append grows
+	// with start possibly rotated. Then fill past 16 so it wraps at cap.
+	for i := 9; i <= 40; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	got := c.Since("t", 0, 0, 0)
+	if len(got) != 16 {
+		t.Fatalf("len = %d, want 16", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(40 - 16 + 1 + i); e.Seq != want {
+			t.Fatalf("entry %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestAppendNextSequences(t *testing.T) {
+	c := New(10, 8)
+	g := c.GroupOf("t")
+	e1, ok := c.AppendNext(g, "t", Entry{Epoch: 1, ID: "a"})
+	if !ok || e1.Epoch != 1 || e1.Seq != 1 {
+		t.Fatalf("first AppendNext = %+v %v, want (1,1)", e1, ok)
+	}
+	e2, ok := c.AppendNext(g, "t", Entry{Epoch: 1, ID: "b"})
+	if !ok || e2.Seq != 2 {
+		t.Fatalf("second AppendNext = %+v %v, want seq 2", e2, ok)
+	}
+	// Proposed epoch ahead of the cache: the stream restarts at seq 1
+	// (coordinator takeover).
+	e3, ok := c.AppendNext(g, "t", Entry{Epoch: 3, ID: "c"})
+	if !ok || e3.Epoch != 3 || e3.Seq != 1 {
+		t.Fatalf("takeover AppendNext = %+v %v, want (3,1)", e3, ok)
+	}
+	// Proposed epoch behind the cache: stale authority, nothing stored.
+	if _, ok := c.AppendNext(g, "t", Entry{Epoch: 2, ID: "d"}); ok {
+		t.Fatal("AppendNext with stale epoch succeeded")
+	}
+	if got := len(c.Since("t", 0, 0, 0)); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3 (stale append stored nothing)", got)
+	}
+	// The ignored e.Seq must not leak through.
+	e4, ok := c.AppendNext(g, "t", Entry{Epoch: 3, Seq: 999})
+	if !ok || e4.Seq != 2 {
+		t.Fatalf("AppendNext ignored-seq = %+v, want seq 2", e4)
+	}
+}
+
+func TestAppendNextConcurrentDenseSeqs(t *testing.T) {
+	// N goroutines sequencing through one topic must produce exactly the
+	// dense range 1..N with no duplicates — the single-lock sequencing
+	// contract the publish path relies on.
+	c := New(10, 4096)
+	g := c.GroupOf("t")
+	const writers, per = 8, 250
+	var wg sync.WaitGroup
+	seen := make([]sync.Map, 1) // seq -> struct{}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e, ok := c.AppendNext(g, "t", Entry{Epoch: 1})
+				if !ok {
+					t.Error("AppendNext failed")
+					return
+				}
+				if _, dup := seen[0].LoadOrStore(e.Seq, struct{}{}); dup {
+					t.Errorf("duplicate seq %d", e.Seq)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	entries := c.Since("t", 0, 0, 0)
+	if len(entries) != writers*per {
+		t.Fatalf("cache holds %d entries, want %d", len(entries), writers*per)
+	}
+	for i, e := range entries {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d has seq %d, want dense %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestGroupVariantsMatchTopicVariants(t *testing.T) {
+	c := New(25, 8)
+	g := c.GroupOf("t")
+	if !c.AppendGroup(g, "t", Entry{Epoch: 1, Seq: 1, ID: "x"}) {
+		t.Fatal("AppendGroup rejected first entry")
+	}
+	if e, ok := c.LatestGroup(g, "t"); !ok || e.ID != "x" {
+		t.Fatalf("LatestGroup = %+v %v", e, ok)
+	}
+	if ep, s, ok := c.PositionGroup(g, "t"); !ok || ep != 1 || s != 1 {
+		t.Fatalf("PositionGroup = %d %d %v", ep, s, ok)
+	}
+	if got := c.SinceGroup(g, "t", 0, 0, 0); len(got) != 1 {
+		t.Fatalf("SinceGroup = %v", got)
+	}
+	// Out-of-range groups fall back to hashing rather than panicking.
+	if !c.AppendGroup(-1, "t", Entry{Epoch: 1, Seq: 2}) {
+		t.Fatal("AppendGroup(-1) did not fall back to hashing")
+	}
+	if _, ok := c.LatestGroup(9999, "t"); !ok {
+		t.Fatal("LatestGroup(out of range) did not fall back to hashing")
+	}
+	if _, ok := c.AppendNext(9999, "t", Entry{Epoch: 1}); !ok {
+		t.Fatal("AppendNext(out of range) did not fall back to hashing")
+	}
+}
+
+func TestAppendSinceReusesBuffer(t *testing.T) {
+	c := New(10, 64)
+	for i := 1; i <= 20; i++ {
+		c.Append("t", Entry{Epoch: 1, Seq: uint64(i)})
+	}
+	buf := make([]Entry, 0, 64)
+	got := c.AppendSince(buf, "t", 1, 10, 0)
+	if len(got) != 10 || got[0].Seq != 11 {
+		t.Fatalf("AppendSince = %d entries starting %d", len(got), got[0].Seq)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendSince did not use the caller's buffer")
+	}
+	// Limit applies to entries appended, not to the total length of dst.
+	got = c.AppendSince(got[:3], "t", 1, 0, 5)
+	if len(got) != 8 {
+		t.Fatalf("AppendSince with prefix+limit returned %d entries, want 3+5", len(got))
+	}
+	// Steady-state replay with a warm buffer allocates nothing.
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = c.AppendSince(buf[:0], "t", 1, 0, 0)
+	})
+	if allocs > 0 {
+		t.Errorf("AppendSince with a warm buffer allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestMemStatsGauges(t *testing.T) {
+	c := New(10, 64)
+	ms := c.MemStats()
+	if ms.Topics != 0 || ms.Entries != 0 || ms.Slots != 0 || ms.Bytes() != 0 {
+		t.Fatalf("empty cache MemStats = %+v", ms)
+	}
+	c.Append("a", Entry{Epoch: 1, Seq: 1, Payload: make([]byte, 100)})
+	c.Append("a", Entry{Epoch: 1, Seq: 2, Payload: make([]byte, 40)})
+	c.Append("b", Entry{Epoch: 1, Seq: 1})
+	ms = c.MemStats()
+	if ms.Topics != 2 || ms.Entries != 3 || ms.Slots != 2*initialRingCapacity {
+		t.Fatalf("MemStats = %+v", ms)
+	}
+	if ms.PayloadBytes != 140 {
+		t.Fatalf("PayloadBytes = %d, want 140", ms.PayloadBytes)
+	}
+	if ms.SlotBytes != int64(ms.Slots)*entrySize || ms.Bytes() != ms.SlotBytes+140 {
+		t.Fatalf("byte accounting inconsistent: %+v", ms)
+	}
+	if ms.Appends != 3 {
+		t.Fatalf("Appends = %d, want 3", ms.Appends)
+	}
+}
+
+func TestGroupLockAcquisitionsCountsAppendPaths(t *testing.T) {
+	c := New(10, 8)
+	g := c.GroupOf("t")
+	before := c.MemStats().GroupLockAcquisitions
+	c.AppendNext(g, "t", Entry{Epoch: 1})           // 1
+	c.AppendNext(g, "t", Entry{Epoch: 1})           // 2
+	c.Append("t", Entry{Epoch: 1, Seq: 99})         // 3
+	c.AppendGroup(g, "t", Entry{Epoch: 1, Seq: 50}) // 4 (rejected, still one acquisition)
+	c.Since("t", 0, 0, 0)                           // read path: not counted
+	c.Position("t")                                 // read path: not counted
+	if got := c.MemStats().GroupLockAcquisitions - before; got != 4 {
+		t.Fatalf("GroupLockAcquisitions delta = %d, want 4", got)
+	}
+}
+
+// TestColdTopicsMemoryProportional is the many-cold-topics footprint proof:
+// 100k topics holding one message each must cost a small fraction of what
+// eager per-topic-cap rings would pin — the paper's workload shape (most
+// topics cold, §4) made the eager 1024-slot rings the dominant waste.
+func TestColdTopicsMemoryProportional(t *testing.T) {
+	const topics = 100_000
+	c := New(DefaultTopicGroups, DefaultPerTopicCapacity)
+	for i := 0; i < topics; i++ {
+		c.Append(fmt.Sprintf("cold-%d", i), Entry{Epoch: 1, Seq: 1})
+	}
+	ms := c.MemStats()
+	if ms.Topics != topics || ms.Entries != topics {
+		t.Fatalf("MemStats = %+v", ms)
+	}
+	if ms.Slots != topics*initialRingCapacity {
+		t.Fatalf("Slots = %d, want %d (initial capacity per cold topic)",
+			ms.Slots, topics*initialRingCapacity)
+	}
+	eager := c.EagerSlotBytes(topics)
+	if ms.SlotBytes*10 > eager {
+		t.Fatalf("cold-topic ring storage = %d bytes; eager allocation = %d; want >= 10x drop (got %.1fx)",
+			ms.SlotBytes, eager, float64(eager)/float64(ms.SlotBytes))
+	}
+	t.Logf("ring storage for %d cold topics: %d bytes vs %d eager (%.0fx lower)",
+		topics, ms.SlotBytes, eager, float64(eager)/float64(ms.SlotBytes))
+}
+
+// TestMemStatsIncrementalMatchesWalk guards the incrementally-maintained
+// gauges (entries/slots/payload bytes, kept so MemStats is O(groups)):
+// after growth, eviction-at-cap, and rejected appends they must equal a
+// direct walk of every ring.
+func TestMemStatsIncrementalMatchesWalk(t *testing.T) {
+	c := New(8, 16)
+	// Topic "hot" runs past the cap (evictions with varying payload
+	// sizes), "warm" grows once, "cold" stays at the initial capacity.
+	for i := 1; i <= 50; i++ {
+		c.Append("hot", Entry{Epoch: 1, Seq: uint64(i), Payload: make([]byte, i%7)})
+	}
+	for i := 1; i <= 10; i++ {
+		c.Append("warm", Entry{Epoch: 1, Seq: uint64(i), Payload: make([]byte, 3)})
+	}
+	c.Append("cold", Entry{Epoch: 1, Seq: 1})
+	c.Append("cold", Entry{Epoch: 1, Seq: 1}) // duplicate: rejected, no gauge change
+	g := c.GroupOf("cold")
+	c.AppendNext(g, "cold", Entry{Epoch: 1, Payload: make([]byte, 9)})
+
+	var entries, slots int
+	var payload int64
+	for _, gr := range c.groups {
+		gr.mu.RLock()
+		for _, r := range gr.topics {
+			entries += r.length
+			slots += len(r.entries)
+			for i := 0; i < r.length; i++ {
+				payload += int64(len(r.entries[(r.start+i)%len(r.entries)].Payload))
+			}
+		}
+		gr.mu.RUnlock()
+	}
+	ms := c.MemStats()
+	if ms.Entries != entries || ms.Slots != slots || ms.PayloadBytes != payload {
+		t.Fatalf("incremental gauges diverged from walk: MemStats=%+v walk entries=%d slots=%d payload=%d",
+			ms, entries, slots, payload)
+	}
+	if ms.Topics != 3 || ms.Entries != 16+10+2 {
+		t.Fatalf("unexpected totals: %+v", ms)
+	}
+}

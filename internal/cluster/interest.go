@@ -327,7 +327,7 @@ func (n *Node) finishResync(g int32, ok bool) {
 		f := &st.frames[i]
 		switch f.Msg.Kind {
 		case protocol.KindReplicate:
-			if !n.applyReplicate(f.From, f.Msg, false) {
+			if !n.applyReplicate(g, f.From, f.Msg, false) {
 				// Non-contiguous: a frame we were not sent falls between
 				// the pulled backlog and this one. Stay stale; unapplied
 				// frames are dropped (their acks are never sent, so the
@@ -336,7 +336,7 @@ func (n *Node) finishResync(g int32, ok bool) {
 				return
 			}
 		case protocol.KindReplicateMeta:
-			if n.entryIsNews(f.Msg) {
+			if n.entryIsNews(g, f.Msg) {
 				// A message suppressed past both the catch-up snapshot and
 				// the payload tier: the group is still stale.
 				n.abortResync(g, f.From)
@@ -367,9 +367,9 @@ func (n *Node) abortResync(g int32, from string) {
 
 // entryIsNews reports whether the frame's (epoch, seq) is ordered after the
 // newest cached entry of its topic — i.e. names a message this member does
-// not hold.
-func (n *Node) entryIsNews(m *protocol.Message) bool {
-	epoch, seq, ok := n.engine.Cache().Position(m.Topic)
+// not hold. g is the topic's locally derived group (saves the re-hash).
+func (n *Node) entryIsNews(g int32, m *protocol.Message) bool {
+	epoch, seq, ok := n.engine.Cache().PositionGroup(int(g), m.Topic)
 	if !ok {
 		return true
 	}

@@ -234,27 +234,33 @@ func TestApplyReplicateStaleGroupSemantics(t *testing.T) {
 			Group: int32(n.engine.Cache().GroupOf(topic)),
 		}
 	}
+	// apply derives the group locally, as the dispatcher paths do before
+	// calling applyReplicate.
+	apply := func(topic string, epoch uint32, seq uint64, stale bool) bool {
+		return n.applyReplicate(int32(n.engine.Cache().GroupOf(topic)), "node-1",
+			frame(topic, epoch, seq), stale)
+	}
 	// Seed topic history through the clean path.
-	if !n.applyReplicate("node-1", frame("t-hist", 1, 1), false) {
+	if !apply("t-hist", 1, 1, false) {
 		t.Fatal("first message of a clean topic must apply")
 	}
 	// Stale group, existing topic, contiguous: applies.
-	if !n.applyReplicate("node-1", frame("t-hist", 1, 2), true) {
+	if !apply("t-hist", 1, 2, true) {
 		t.Fatal("contiguous extension must apply even when the group is stale")
 	}
 	// Stale group, empty topic, seq 1: ambiguous — defer to resync.
-	if n.applyReplicate("node-1", frame("t-new", 1, 1), true) {
+	if apply("t-new", 1, 1, true) {
 		t.Fatal("empty-topic fast start must defer to resync when the group is stale")
 	}
 	// Gap and epoch change defer regardless of staleness.
-	if n.applyReplicate("node-1", frame("t-hist", 1, 5), false) {
+	if apply("t-hist", 1, 5, false) {
 		t.Fatal("sequence gap must defer to resync")
 	}
-	if n.applyReplicate("node-1", frame("t-hist", 2, 1), false) {
+	if apply("t-hist", 2, 1, false) {
 		t.Fatal("epoch change must defer to resync")
 	}
 	// Duplicates ack-and-drop without touching the cache.
-	if !n.applyReplicate("node-1", frame("t-hist", 1, 2), false) {
+	if !apply("t-hist", 1, 2, false) {
 		t.Fatal("duplicate must be dropped as applied")
 	}
 	if got := len(n.engine.Cache().Since("t-hist", 0, 0, 0)); got != 2 {

@@ -60,7 +60,10 @@ func (n *Node) handlePublish(from *core.Client, m *protocol.Message) {
 	// responsibilities").
 	target := n.randomPeer()
 	if target == n.id {
-		go n.takeoverAndPublish(g, from, "", m)
+		// The election runs async while the caller may recycle m (decoded
+		// client messages are pool-backed): hand the goroutine its own copy.
+		mc := *m
+		go n.takeoverAndPublish(g, from, "", &mc)
 		return
 	}
 	n.forwardTo(target, g, from, m)
@@ -107,16 +110,19 @@ func (n *Node) sequenceAndReplicate(g int32, epoch uint32, from *core.Client, co
 	c := n.engine.Cache()
 	lock := &n.groupLocks[g]
 	lock.Lock()
-	curEpoch, curSeq, ok := c.Position(m.Topic)
-	var seq uint64
-	switch {
-	case !ok || curEpoch < epoch:
-		seq = 1
-	case curEpoch == epoch:
-		seq = curSeq + 1
-	default:
-		// The cache already has a newer epoch: our coordinator role is
-		// stale. Fail the publication; the retry re-routes.
+	// Sequencing is a single cache.AppendNext: one group-lock acquisition
+	// reads the newest position, assigns the successor (epoch, seq), and
+	// stores the entry — the old Position-then-Append shape paid two (plus
+	// a topic re-hash each). AppendNext fails exactly when the cache holds
+	// a newer epoch than our coordinator role: the role is stale, the
+	// publication is failed, and the retry re-routes.
+	entry, ok := c.AppendNext(int(g), m.Topic, cache.Entry{
+		ID:        m.ID,
+		Epoch:     epoch,
+		Timestamp: m.Timestamp,
+		Payload:   m.Payload,
+	})
+	if !ok {
 		lock.Unlock()
 		n.mu.Lock()
 		delete(n.coordinated, g)
@@ -124,14 +130,7 @@ func (n *Node) sequenceAndReplicate(g int32, epoch uint32, from *core.Client, co
 		n.nack(from, m.ID)
 		return
 	}
-	entry := cache.Entry{
-		ID:        m.ID,
-		Epoch:     epoch,
-		Seq:       seq,
-		Timestamp: m.Timestamp,
-		Payload:   m.Payload,
-	}
-	c.Append(m.Topic, entry)
+	seq := entry.Seq
 	n.stats.localDeliver.Add(int64(n.engine.DeliverGroup(int(g), m.Topic, entry)))
 	rep := &protocol.Message{
 		Kind:      protocol.KindReplicate,
@@ -461,7 +460,7 @@ func (n *Node) handleReplicate(from string, m *protocol.Message) {
 	}
 	_, stale := n.unsynced[g]
 	n.mu.Unlock()
-	if !n.applyReplicate(from, m, stale) {
+	if !n.applyReplicate(g, from, m, stale) {
 		n.startResync(g, from, &PeerFrame{From: from, Msg: m})
 	}
 }
@@ -484,8 +483,13 @@ func (n *Node) handleReplicate(from string, m *protocol.Message) {
 // the empty-topic fast start is ambiguous under staleness (seq 1 of a new
 // epoch is indistinguishable from a suppressed-prefix takeover) and defers
 // to the resync.
-func (n *Node) applyReplicate(from string, m *protocol.Message, groupStale bool) bool {
-	epoch, seq, ok := n.engine.Cache().Position(m.Topic)
+//
+// g is the topic's LOCALLY derived group (the callers hash m.Topic
+// themselves and never trust the wire-supplied m.Group), shared across the
+// position read, the append, and the delivery fan-out so the replication
+// apply path hashes the topic once.
+func (n *Node) applyReplicate(g int32, from string, m *protocol.Message, groupStale bool) bool {
+	epoch, seq, ok := n.engine.Cache().PositionGroup(int(g), m.Topic)
 	switch {
 	case !ok:
 		// No history for the topic: only the very first message of the
@@ -522,11 +526,11 @@ func (n *Node) applyReplicate(from string, m *protocol.Message, groupStale bool)
 	// Replication keeps every payload-tier member's cache complete, but the
 	// fan-out below only touches workers with local subscribers for the
 	// topic — a member that merely stores the replica pays no delivery
-	// cost. Deliver (not DeliverGroup) on purpose: routing must key on the
-	// topic name alone, never on a wire-supplied group a buggy peer could
-	// skew, and Append pays the topic hash anyway.
-	if n.engine.Cache().Append(m.Topic, entry) {
-		n.stats.localDeliver.Add(int64(n.engine.Deliver(m.Topic, entry)))
+	// cost. g is locally derived from the topic name (never the
+	// wire-supplied m.Group, which a buggy peer could skew), so the
+	// group-indexed append and fan-out are safe and the hash is paid once.
+	if n.engine.Cache().AppendGroup(int(g), m.Topic, entry) {
+		n.stats.localDeliver.Add(int64(n.engine.DeliverGroup(int(g), m.Topic, entry)))
 	}
 	n.ackReplicate(from, m)
 	return true
@@ -575,7 +579,7 @@ func (n *Node) handleReplicateMeta(from string, m *protocol.Message) {
 		return
 	}
 	n.mu.Unlock()
-	if !n.entryIsNews(m) {
+	if !n.entryIsNews(g, m) {
 		return // already hold it (we were in the payload tier for it)
 	}
 	// Mark stale and, if local subscribers turn out to be waiting (the
@@ -638,7 +642,9 @@ func (n *Node) handlePubDone(m *protocol.Message) {
 
 // handleCacheRequest streams the requested group's history (all groups when
 // Group == -1) back to the requester, ending with an empty-topic done
-// marker carrying the request's correlation ID.
+// marker carrying the request's correlation ID. The per-topic reads go
+// through one reused entry buffer (cache.AppendSinceGroup): a reconnect or
+// takeover storm pulling many groups does not allocate a slice per topic.
 func (n *Node) handleCacheRequest(from string, m *protocol.Message) {
 	c := n.engine.Cache()
 	groups := make([]int, 0, 1)
@@ -649,9 +655,11 @@ func (n *Node) handleCacheRequest(from string, m *protocol.Message) {
 	} else {
 		groups = append(groups, int(m.Group))
 	}
+	var entries []cache.Entry
 	for _, g := range groups {
 		for _, topic := range c.TopicsInGroup(g) {
-			for _, e := range c.Since(topic, 0, 0, 0) {
+			entries = c.AppendSinceGroup(entries[:0], g, topic, 0, 0, 0)
+			for _, e := range entries {
 				resp := &protocol.Message{
 					Kind: protocol.KindCacheResponse, ClientID: n.id,
 					Topic: topic, ID: e.ID, Payload: e.Payload,
@@ -684,8 +692,11 @@ func (n *Node) handleCacheResponse(m *protocol.Message) {
 			ID: m.ID, Epoch: m.Epoch, Seq: m.Seq,
 			Timestamp: m.Timestamp, Payload: m.Payload,
 		}
-		if n.engine.Cache().Append(m.Topic, entry) {
-			n.stats.localDeliver.Add(int64(n.engine.Deliver(m.Topic, entry)))
+		// One locally-derived hash shared by the append and the fan-out
+		// (the wire-supplied m.Group is never trusted for routing).
+		g := n.engine.Cache().GroupOf(m.Topic)
+		if n.engine.Cache().AppendGroup(g, m.Topic, entry) {
+			n.stats.localDeliver.Add(int64(n.engine.DeliverGroup(g, m.Topic, entry)))
 		}
 		return
 	}

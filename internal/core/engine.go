@@ -277,9 +277,12 @@ func (e *Engine) Attach(framed Framed) (*Client, error) {
 	c.io = e.ioThreads[pinIndex(framed.RemoteAddr(), id, len(e.ioThreads))]
 	c.worker = e.workers[pinIndex(framed.RemoteAddr(), id, len(e.workers))]
 	c.batcher = batch.NewBatcher(e.cfg.BatchMaxBytes, e.cfg.BatchMaxDelay)
-	// Decoded payloads ride pooled buffers; the worker releases or detaches
-	// them per message kind (see handleClientMsg).
+	// Decoded messages and their payloads ride pooled memory; the worker
+	// releases or detaches them per message kind (see handleClientMsg), so
+	// the steady-state decode→dispatch→publish path allocates only the
+	// strings a frame carries.
 	c.decoder.PoolPayloads = true
+	c.decoder.PoolMessages = true
 
 	e.mu.Lock()
 	if e.closed.Load() {
@@ -336,8 +339,24 @@ func (e *Engine) readLoop(c *Client) {
 }
 
 // publish routes a client publication into the configured publish path.
+// The publish path does not retain m (payloads and strings it stores are
+// detached or immutable), so the caller may release a pooled message as
+// soon as the call returns.
 func (e *Engine) publish(from *Client, m *protocol.Message) {
 	e.publishFn(from, m)
+}
+
+// Publish routes a server-originated publication through the configured
+// publish path (the local sequencer, or the cluster protocol when one is
+// installed). Publish takes ownership of m: the message is released to the
+// message pool once handled, so the caller must not reuse it — acquire it
+// with protocol.AcquireMessage for an allocation-free hot path. The payload
+// is retained by the history cache and must not be mutated afterwards.
+func (e *Engine) Publish(m *protocol.Message) {
+	e.stats.published.Inc()
+	e.publish(nil, m)
+	m.Payload = nil // retained by the cache (and cluster replication)
+	protocol.ReleaseMessage(m)
 }
 
 // Deliver fans out a sequenced entry for topic, routing via the
@@ -348,9 +367,10 @@ func (e *Engine) publish(from *Client, m *protocol.Message) {
 // single worker costs exactly one push. It returns the number of worker
 // events enqueued.
 //
-// Callers must invoke Deliver in (epoch, seq) order per topic — the
-// sequencer and the cluster replication path both do so while holding the
-// topic-group lock.
+// Callers must invoke Deliver in (epoch, seq) order per topic — the local
+// sequencer does so through its per-group FIFO hand-off (one drainer at a
+// time per group), the cluster replication paths while holding the cluster
+// group lock.
 func (e *Engine) Deliver(topic string, entry cache.Entry) int {
 	return e.DeliverGroup(e.cache.GroupOf(topic), topic, entry)
 }
@@ -451,6 +471,14 @@ type Stats struct {
 	FanoutEvents int64
 	IOFlushes    int64
 	IOFlushBytes int64
+	// CacheTopics/CacheEntries/CacheBytes gauge the history cache: cached
+	// topics, live entries, and the measured footprint (ring slots plus
+	// payload bytes). With memory-proportional rings CacheBytes tracks the
+	// history actually cached, not topics × per-topic cap (see
+	// cache.MemStats).
+	CacheTopics  int64
+	CacheEntries int64
+	CacheBytes   int64
 	BytesOut     int64
 	Gbps         float64
 	CPUUtilized  float64
@@ -458,7 +486,11 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	ms := e.cache.MemStats()
 	return Stats{
+		CacheTopics:    int64(ms.Topics),
+		CacheEntries:   int64(ms.Entries),
+		CacheBytes:     ms.Bytes(),
 		Connections:    e.NumClients(),
 		Connects:       e.stats.connects.Value(),
 		Published:      e.stats.published.Value(),

@@ -9,16 +9,53 @@ import (
 
 // localSequencer is the single-node publication path: it assigns sequence
 // numbers per topic, appends to the history cache, fans out to subscribers,
-// and acknowledges the publisher. Sequencing and fan-out happen under a
-// per-topic-group mutex so that delivery order always matches sequence
-// order for a topic, while publications to topics in different groups
-// proceed in parallel — the same sharding the cache uses (§4).
+// and acknowledges the publisher.
+//
+// The hot path is built around two rules (docs/ARCHITECTURE.md, "The ingest
+// path"):
+//
+//   - One group-lock acquisition per publish. Sequencing — read the topic's
+//     newest (epoch, seq), assign the successor, append — happens inside a
+//     single cache.AppendNext call, under one acquisition of the topic
+//     group's lock. The previous shape took the lock three times (sequencer
+//     mutex, cache.Position, cache.Append).
+//
+//   - Nothing but sequencing under a lock. NOTIFY encoding and the worker
+//     queue pushes happen after the group lock is released. Delivery order
+//     must still match sequence order per topic, so each group runs a FIFO
+//     hand-off (a combining queue): the publisher that finds the group idle
+//     becomes its drainer and delivers; publishers that sequence while a
+//     drainer is active stage their entry and return immediately, and the
+//     drainer delivers the staged backlog in sequencing order before
+//     retiring. At most one drainer runs per group at a time, which is
+//     exactly the Deliver-in-(epoch,seq)-order contract Engine.Deliver
+//     requires — without serializing publishers of a group behind the
+//     encode.
 //
 // In a cluster this path is replaced by the coordinator-based protocol of
 // §5.2.2 (see internal/cluster).
 type localSequencer struct {
 	engine *Engine
-	locks  []sync.Mutex // one per topic group
+	groups []seqGroup
+}
+
+// staged is one sequenced-but-not-yet-delivered publication in a group's
+// hand-off queue.
+type staged struct {
+	topic string
+	entry cache.Entry
+}
+
+// seqGroup is the per-topic-group delivery hand-off. mu guards only the
+// tiny state below — it is never held across sequencing, encoding, or queue
+// pushes. pending holds sequenced entries in sequencing order; spare is the
+// drained buffer recycled back for staging so the steady state allocates
+// nothing.
+type seqGroup struct {
+	mu       sync.Mutex
+	draining bool
+	pending  []staged
+	spare    []staged
 }
 
 // localEpoch is the fixed epoch of a non-replicated single server: there is
@@ -28,46 +65,111 @@ const localEpoch = 1
 func newLocalSequencer(e *Engine) *localSequencer {
 	return &localSequencer{
 		engine: e,
-		locks:  make([]sync.Mutex, e.cfg.TopicGroups),
+		groups: make([]seqGroup, e.cfg.TopicGroups),
 	}
 }
 
-// publish implements PublishFunc.
+// publish implements PublishFunc. It does not retain m.
 func (s *localSequencer) publish(from *Client, m *protocol.Message) {
 	if m.Topic == "" {
 		if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
-			from.Send(&protocol.Message{
-				Kind:   protocol.KindPubAck,
-				ID:     m.ID,
-				Status: protocol.StatusFailed,
-			})
+			s.ack(from, m.ID, cache.Entry{}, protocol.StatusFailed)
 		}
 		return
 	}
+	// The only topic hash on the publish path: the cache, the hand-off, and
+	// the delivery fan-out all reuse this group index.
 	g := s.engine.cache.GroupOf(m.Topic)
-	s.locks[g].Lock()
-	epoch, seq, ok := s.engine.cache.Position(m.Topic)
-	if !ok {
-		epoch = localEpoch
-	}
-	entry := cache.Entry{
+	proposal := cache.Entry{
 		ID:        m.ID,
-		Epoch:     epoch,
-		Seq:       seq + 1,
+		Epoch:     localEpoch,
 		Timestamp: m.Timestamp,
 		Payload:   m.Payload,
 	}
-	s.engine.cache.Append(m.Topic, entry)
-	s.engine.DeliverGroup(g, m.Topic, entry)
-	s.locks[g].Unlock()
 
-	if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
-		from.Send(&protocol.Message{
-			Kind:   protocol.KindPubAck,
-			ID:     m.ID,
-			Epoch:  entry.Epoch,
-			Seq:    entry.Seq,
-			Status: protocol.StatusOK,
-		})
+	gs := &s.groups[g]
+	gs.mu.Lock()
+	// Sequencing: the single group-lock acquisition. Publishing under gs.mu
+	// keeps the hand-off order identical to the sequencing order.
+	entry, ok := s.engine.cache.AppendNext(g, m.Topic, proposal)
+	if !ok {
+		// The cache holds a newer epoch than localEpoch — possible only if
+		// something appended cluster-epoch history directly. Continue the
+		// newer epoch, as the pre-AppendNext sequencer did.
+		epoch, _, _ := s.engine.cache.PositionGroup(g, m.Topic)
+		proposal.Epoch = epoch
+		entry, ok = s.engine.cache.AppendNext(g, m.Topic, proposal)
 	}
+	drainer := false
+	if ok {
+		if gs.draining {
+			gs.pending = append(gs.pending, staged{topic: m.Topic, entry: entry})
+		} else {
+			gs.draining = true
+			drainer = true
+		}
+	}
+	gs.mu.Unlock()
+
+	// The publisher's ack carries the assigned (epoch, seq); it does not
+	// wait for the fan-out (delivery to subscribers is asynchronous via the
+	// worker queues regardless).
+	if from != nil && m.Flags&protocol.FlagAckRequired != 0 {
+		status := protocol.StatusOK
+		if !ok {
+			status = protocol.StatusFailed
+		}
+		s.ack(from, m.ID, entry, status)
+	}
+
+	if drainer {
+		// Encode + worker pushes, outside every lock.
+		s.engine.DeliverGroup(g, m.Topic, entry)
+		s.drain(g, gs)
+	}
+}
+
+// drain delivers the group's staged backlog in sequencing order and retires
+// the drainer role once the queue is observed empty. Publishers that stage
+// while draining is true are guaranteed to be picked up: staging and the
+// draining flag are mutated under the same mutex, so the queue can only be
+// observed empty after every staged entry has been delivered.
+func (s *localSequencer) drain(g int, gs *seqGroup) {
+	var batch []staged
+	for {
+		gs.mu.Lock()
+		if batch != nil {
+			// Recycle the just-drained buffer for the next staging round.
+			if cap(batch) > cap(gs.spare) {
+				gs.spare = batch[:0]
+			}
+			batch = nil
+		}
+		if len(gs.pending) == 0 {
+			gs.draining = false
+			gs.mu.Unlock()
+			return
+		}
+		batch = gs.pending
+		gs.pending = gs.spare[:0]
+		gs.spare = nil
+		gs.mu.Unlock()
+
+		for i := range batch {
+			s.engine.DeliverGroup(g, batch[i].topic, batch[i].entry)
+			batch[i] = staged{} // drop topic/payload references
+		}
+	}
+}
+
+// ack answers a reliable publisher through a pooled message.
+func (s *localSequencer) ack(from *Client, id string, e cache.Entry, status uint8) {
+	ack := protocol.AcquireMessage()
+	ack.Kind = protocol.KindPubAck
+	ack.ID = id
+	ack.Epoch = e.Epoch
+	ack.Seq = e.Seq
+	ack.Status = status
+	from.Send(ack)
+	protocol.ReleaseMessage(ack)
 }

@@ -68,7 +68,15 @@ func (x *subIndex) shardOf(topic string) (*subIndexShard, int) {
 // worker goroutines on the empty→non-empty transition of their local
 // subscriber set.
 func (x *subIndex) add(topic string, worker int) {
-	sh, g := x.shardOf(topic)
+	_, g := x.shardOf(topic)
+	x.addGroup(g, topic, worker)
+}
+
+// addGroup is add for callers that already hashed the topic to its group
+// (the subscribe path computes the group once and shares it with the
+// replay read). g must be a locally-derived group index.
+func (x *subIndex) addGroup(g int, topic string, worker int) {
+	sh := &x.shards[g]
 	sh.mu.Lock()
 	wset := sh.topics[topic]
 	first := len(sh.topics) == 0

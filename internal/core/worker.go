@@ -71,6 +71,11 @@ type worker struct {
 	// a single queue operation. Only this worker goroutine touches them.
 	ioBuckets []*writeSet
 	ioEvents  [][]ioEvent
+
+	// replayScratch is the reused buffer for subscribe-replay cache reads
+	// (cache.AppendSinceGroup), so a reconnect storm replaying history to
+	// thousands of clients does not allocate a fresh slice per client.
+	replayScratch []cache.Entry
 }
 
 func newWorker(index int, e *Engine) *worker {
@@ -135,7 +140,7 @@ func (w *worker) do(fn func()) bool {
 
 func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
 	if c.closed.Load() {
-		protocol.ReleasePayload(m)
+		protocol.ReleaseMessage(m)
 		return
 	}
 	switch m.Kind {
@@ -151,11 +156,16 @@ func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
 		w.unsubscribe(c, m)
 	case protocol.KindPublish:
 		// The publish path retains m.Payload (the sequencer appends it to
-		// the history cache), so a pooled decode buffer must be detached
-		// before it escapes; everything else below dies with the event.
+		// the history cache, the cluster replicates it), so a pooled decode
+		// buffer must be detached before it escapes. The struct itself is
+		// dead once publish returns — the publish paths keep only the
+		// detached payload and immutable strings — so it goes back to the
+		// message pool with the payload nilled out (the cache owns it now).
 		m.Payload = protocol.UnpoolPayload(m.Payload)
 		w.engine.stats.published.Inc()
 		w.engine.publish(c, m)
+		m.Payload = nil
+		protocol.ReleaseMessage(m)
 		return
 	case protocol.KindPing:
 		c.Send(&protocol.Message{Kind: protocol.KindPong, Timestamp: m.Timestamp})
@@ -168,10 +178,11 @@ func (w *worker) handleClientMsg(c *Client, m *protocol.Message) {
 			"kind", m.Kind, "client", c.RemoteAddr())
 		c.CloseAsync()
 	}
-	// No branch above retains the message, so its (pooled) payload can go
-	// back to the pool. Normal control messages carry none; this reclaims
-	// the buffer when a client puts a payload where it doesn't belong.
-	protocol.ReleasePayload(m)
+	// No branch above retains the message: its (pooled) payload and the
+	// struct itself go back to their pools. Normal control messages carry
+	// no payload; this also reclaims the buffer when a client puts a
+	// payload where it doesn't belong.
+	protocol.ReleaseMessage(m)
 }
 
 // subscribe registers the client for each topic and replays missed messages
@@ -184,18 +195,25 @@ func (w *worker) subscribe(c *Client, m *protocol.Message) {
 		if tp.Topic == "" {
 			continue
 		}
+		// One hash per topic: the subscription index and the replay read
+		// below share the group.
+		g := w.engine.cache.GroupOf(tp.Topic)
 		set := w.subsByTopic[tp.Topic]
 		if set == nil {
 			set = make(map[*Client]struct{})
 			w.subsByTopic[tp.Topic] = set
 			// First local subscriber: make Deliver route to this worker.
-			w.engine.subIndex.add(tp.Topic, w.index)
+			w.engine.subIndex.addGroup(g, tp.Topic, w.index)
 		}
 		set[c] = struct{}{}
 		c.subs[tp.Topic] = struct{}{}
 
 		if tp.Epoch != 0 || tp.Seq != 0 {
-			for _, e := range w.engine.cache.Since(tp.Topic, tp.Epoch, tp.Seq, 0) {
+			// Replay through the worker's reused buffer: a reconnect storm
+			// resubscribing thousands of clients costs no per-client slice.
+			w.replayScratch = w.engine.cache.AppendSinceGroup(
+				w.replayScratch[:0], g, tp.Topic, tp.Epoch, tp.Seq, 0)
+			for _, e := range w.replayScratch {
 				replay = protocol.AppendEncode(replay, notifyMessage(tp.Topic, e, protocol.FlagRetransmission))
 				w.engine.stats.retransmitted.Inc()
 			}
@@ -205,6 +223,11 @@ func (w *worker) subscribe(c *Client, m *protocol.Message) {
 	if len(replay) > 0 {
 		c.SendFrame(replay)
 	}
+	// Drop the payload references so a huge replay cannot pin cache
+	// payloads via the scratch buffer between subscribes — over the FULL
+	// backing array: an earlier topic in this subscribe may have replayed
+	// more entries than the last one, leaving live references past len.
+	clear(w.replayScratch[:cap(w.replayScratch)])
 }
 
 func (w *worker) unsubscribe(c *Client, m *protocol.Message) {
@@ -257,6 +280,17 @@ func (w *worker) stageFanout(topic string, frame []byte) {
 	if len(set) == 0 {
 		return
 	}
+	if len(set) == 1 {
+		// Singleton fast path — the C10M shape (every client the sole
+		// subscriber of its own topic): a plain evWrite needs no pooled
+		// write set, so nothing shuttles between the worker's and the
+		// ioThread's sync.Pool caches.
+		for c := range set {
+			w.ioEvents[c.io.index] = append(w.ioEvents[c.io.index], ioEvent{kind: evWrite, c: c, data: frame})
+		}
+		w.engine.stats.delivered.Inc()
+		return
+	}
 	for c := range set {
 		ws := w.ioBuckets[c.io.index]
 		if ws == nil {
@@ -288,8 +322,11 @@ func (w *worker) flushEgress() {
 			w.engine.stats.egress.FanoutEvents.Add(int64(len(evs)))
 		} else {
 			// Queue closed during shutdown: nobody will drain the sets.
+			// Singleton fast-path events (plain evWrite) carry no set.
 			for i := range evs {
-				evs[i].set.release()
+				if evs[i].set != nil {
+					evs[i].set.release()
+				}
 			}
 		}
 		for i := range evs {
@@ -323,12 +360,16 @@ func aggregateFrame(agg batch.Conflated[conflated]) []byte {
 	return protocol.Encode(notifyMessage(agg.Topic, agg.Value.entry, protocol.FlagConflated))
 }
 
-// detach removes all of the client's subscriptions.
+// detach removes all of the client's subscriptions. Detach is terminal —
+// it only runs from connection teardown, after c.closed flipped — so the
+// subscription map is released outright (set to nil, not reallocated): a
+// churning fleet of short-lived connections must not keep one empty map
+// per dead client alive until the Client itself is collected.
 func (w *worker) detach(c *Client) {
 	for topic := range c.subs {
 		w.dropSub(c, topic)
 	}
-	c.subs = make(map[string]struct{})
+	c.subs = nil
 }
 
 // notifyMessage builds the NOTIFY for a cached entry.

@@ -189,6 +189,9 @@ func RunClusterScenario(cfg ClusterScenario) (Result, error) {
 		res.FanoutEvents += st.FanoutEvents
 		res.IOFlushes += st.IOFlushes
 		res.IOFlushBytes += st.IOFlushBytes
+		res.CacheTopics += st.CacheTopics
+		res.CacheEntries += st.CacheEntries
+		res.CacheBytes += st.CacheBytes
 	}
 	res.CPU /= float64(len(engines))
 	return res, nil

@@ -121,6 +121,14 @@ type Result struct {
 	// the topic's group (zero on single-engine runs).
 	PayloadsForwarded  int64
 	PayloadsSuppressed int64
+	// CacheTopics/CacheEntries/CacheBytes gauge the history cache at the
+	// end of the run (summed over members on cluster runs): cached topics,
+	// live entries, and the measured footprint in bytes — ring slots plus
+	// payloads (see cache.MemStats). With memory-proportional rings this
+	// tracks the history actually cached, not topics × per-topic cap.
+	CacheTopics  int64
+	CacheEntries int64
+	CacheBytes   int64
 }
 
 // Row formats the result like a row of Table 1 (latencies in ms).
@@ -252,6 +260,9 @@ func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
 		FanoutEvents:   st.FanoutEvents,
 		IOFlushes:      st.IOFlushes,
 		IOFlushBytes:   st.IOFlushBytes,
+		CacheTopics:    st.CacheTopics,
+		CacheEntries:   st.CacheEntries,
+		CacheBytes:     st.CacheBytes,
 	}, nil
 }
 

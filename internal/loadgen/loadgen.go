@@ -178,12 +178,13 @@ func (b *Benchsub) readLoop(sc *subConn) error {
 	if conn == nil {
 		return errors.New("loadgen: no connection")
 	}
-	// Pooled payloads: a subscriber fleet decodes every delivered NOTIFY,
-	// so this loop is the client-side analogue of the engine's read path.
-	// observe retains nothing from the payload, so each buffer goes
-	// straight back to the pool.
+	// Pooled messages and payloads: a subscriber fleet decodes every
+	// delivered NOTIFY, so this loop is the client-side analogue of the
+	// engine's read path. observe retains nothing, so both the struct and
+	// the payload buffer go straight back to their pools.
 	var dec protocol.StreamDecoder
 	dec.PoolPayloads = true
+	dec.PoolMessages = true
 	buf := make([]byte, b.cfg.ReadBuffer)
 	for {
 		n, err := conn.Read(buf)
@@ -200,7 +201,7 @@ func (b *Benchsub) readLoop(sc *subConn) error {
 				if m.Kind == protocol.KindNotify {
 					b.observe(sc, m)
 				}
-				protocol.ReleasePayload(m)
+				protocol.ReleaseMessage(m)
 			}
 		}
 		if err != nil {
@@ -488,7 +489,11 @@ func newAckReader(conn net.Conn) *ackReader {
 }
 
 func (a *ackReader) loop(conn net.Conn) {
+	// Acks arrive at the publish rate in reliable mode; pooled messages
+	// keep the wait loop allocation-free (the retained ID is an immutable
+	// string, safe past the release).
 	var dec protocol.StreamDecoder
+	dec.PoolMessages = true
 	buf := make([]byte, 4096)
 	for {
 		n, err := conn.Read(buf)
@@ -509,6 +514,7 @@ func (a *ackReader) loop(conn net.Conn) {
 					a.mu.Unlock()
 					a.cond.Broadcast()
 				}
+				protocol.ReleaseMessage(m)
 			}
 		}
 		if err != nil {

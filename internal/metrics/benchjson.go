@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// BenchRow is one machine-readable benchmark data point. The CI bench-smoke
+// job collects these into BENCH_*.json artifacts so the performance
+// trajectory (throughput, allocation discipline, cache footprint) is
+// comparable across commits without parsing `go test -bench` text output.
+type BenchRow struct {
+	// Name identifies the benchmark (sub-benchmark path included).
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int `json:"iterations"`
+	// NsPerOp and MsgsPerSec are the two throughput views of the same
+	// measurement (MsgsPerSec = 1e9/NsPerOp for one-message ops).
+	NsPerOp    float64 `json:"ns_per_op"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// AllocsPerOp is the heap allocation count per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// CacheBytes is the history cache's measured footprint after the run.
+	CacheBytes int64 `json:"cache_bytes"`
+	// LockAcqsPerOp is the group-lock acquisitions per operation on the
+	// append path (the ingest invariant is exactly 1).
+	LockAcqsPerOp float64 `json:"lock_acqs_per_op"`
+	// Extra carries benchmark-specific metrics (subscriber counts, event
+	// ratios) without growing the schema.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// AppendBenchJSON appends row to the JSON array stored at path, creating
+// the file on first use. Sub-benchmarks run sequentially within one `go
+// test` process, so no file locking is needed; a corrupt or foreign file is
+// replaced rather than failing the benchmark.
+func AppendBenchJSON(path string, row BenchRow) error {
+	var rows []BenchRow
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &rows) // unparsable → start fresh
+	}
+	rows = append(rows, row)
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

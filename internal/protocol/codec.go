@@ -58,14 +58,28 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	return dst
 }
 
+// encodedCap upper-bounds the frame size for m: the length prefix, the
+// fixed fields at their maximum varint widths, and the variable-length
+// data. Pre-sizing with it makes Encode a single allocation instead of a
+// chain of append growth steps — on the ingest hot path the NOTIFY encode
+// is the one remaining allocation per publish, so its constant matters.
+func encodedCap(m *Message) int {
+	n := headerSize + 3 + 8 + 35 // prefix, kind/flags/status, timestamp, varint headroom
+	n += len(m.ClientID) + len(m.Topic) + len(m.ID) + len(m.Payload)
+	for i := range m.Topics {
+		n += len(m.Topics[i].Topic) + 20
+	}
+	return n
+}
+
 // Encode returns the full frame for m.
 func Encode(m *Message) []byte {
-	return AppendEncode(nil, m)
+	return AppendEncode(make([]byte, 0, encodedCap(m)), m)
 }
 
 // DecodeBody decodes a frame body (excluding the 4-byte length prefix).
 func DecodeBody(body []byte) (*Message, error) {
-	return decodeBody(body, false)
+	return decodeBody(body, false, false)
 }
 
 // DecodeBodyPooled decodes like DecodeBody but draws the payload copy from
@@ -75,7 +89,7 @@ func DecodeBody(body []byte) (*Message, error) {
 // the history cache) — detaches it first with UnpoolPayload. Every other
 // field still allocates normally.
 func DecodeBodyPooled(body []byte) (*Message, error) {
-	return decodeBody(body, true)
+	return decodeBody(body, true, false)
 }
 
 // ReleasePayload recycles a pooled payload and clears it from m. Safe on
@@ -104,80 +118,108 @@ func UnpoolPayload(b []byte) []byte {
 	return out
 }
 
-func decodeBody(body []byte, pooled bool) (*Message, error) {
-	d := bodyReader{buf: body, pooled: pooled}
+// decodeBody decodes a frame body. pooledPayload draws the payload copy
+// from the buffer pool; pooledMsg draws the Message struct itself from the
+// message pool (the caller then owns it and must ReleaseMessage it; on a
+// decode error the struct is returned to the pool here).
+func decodeBody(body []byte, pooledPayload, pooledMsg bool) (*Message, error) {
+	var m *Message
+	if pooledMsg {
+		m = AcquireMessage()
+	} else {
+		m = new(Message)
+	}
+	if err := decodeInto(m, body, pooledPayload); err != nil {
+		if pooledMsg {
+			ReleaseMessage(m)
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeInto decodes a frame body into m, which must be empty apart from a
+// reusable Topics backing array (a pool-fresh or newly-allocated message).
+func decodeInto(m *Message, body []byte, pooledPayload bool) error {
+	d := bodyReader{buf: body, pooled: pooledPayload}
 	kind, err := d.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m := &Message{Kind: Kind(kind)}
+	m.Kind = Kind(kind)
 	if !m.Kind.Valid() {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+		return fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}
 	if m.Flags, err = d.u8(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Status, err = d.u8(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.ClientID, err = d.str(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Topic, err = d.str(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.ID, err = d.str(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Payload, err = d.payload(); err != nil {
-		return nil, err
+		return err
 	}
 	epoch, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Epoch = uint32(epoch)
 	if m.Seq, err = d.uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	groupRaw, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Group = int32(unzigzag(groupRaw))
 	ts, err := d.u64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Timestamp = int64(ts)
 	nTopics, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if nTopics > uint64(len(d.buf)) {
 		// Each topic entry costs at least 3 bytes; a count larger than the
 		// remaining buffer is corrupt and must not drive allocation.
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if nTopics > 0 {
-		m.Topics = make([]TopicPosition, 0, nTopics)
+		// A pool-fresh message's Topics backing array is reused when it is
+		// big enough — subscribe frames then decode allocation-free too.
+		if cap(m.Topics) >= int(nTopics) {
+			m.Topics = m.Topics[:0]
+		} else {
+			m.Topics = make([]TopicPosition, 0, nTopics)
+		}
 		for i := uint64(0); i < nTopics; i++ {
 			var tp TopicPosition
 			if tp.Topic, err = d.str(); err != nil {
-				return nil, err
+				return err
 			}
 			e, err := d.uvarint()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tp.Epoch = uint32(e)
 			if tp.Seq, err = d.uvarint(); err != nil {
-				return nil, err
+				return err
 			}
 			m.Topics = append(m.Topics, tp)
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // zigzag / unzigzag map signed values onto uvarint-friendly unsigned ones.

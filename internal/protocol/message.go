@@ -7,7 +7,10 @@
 // binary frames for clients and over raw TCP between cluster members.
 package protocol
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind identifies the message type.
 type Kind uint8
@@ -162,6 +165,42 @@ type Message struct {
 	// Topics carries the subscription list with resume positions
 	// (Subscribe, Unsubscribe, CacheRequest).
 	Topics []TopicPosition
+}
+
+// messagePool recycles Message structs across the decode → worker dispatch
+// → publish/ack pipeline, so the steady-state ingest path allocates no
+// message headers — the same discipline the buffer pool applies to
+// payloads. Only the struct (and its Topics backing array) is pooled;
+// strings and detached payloads referenced by a released message stay valid
+// for whoever copied them.
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns an empty Message from the pool. Pair it with
+// ReleaseMessage once the message (and everything it references) is no
+// longer needed.
+func AcquireMessage() *Message {
+	return messagePool.Get().(*Message)
+}
+
+// ReleaseMessage recycles m: a pooled payload goes back to the buffer pool
+// (see ReleasePayload), every field is cleared — the Topics backing array
+// is kept for reuse, its elements zeroed so topic strings can be collected
+// — and the struct returns to the message pool. Safe on messages that were
+// never pooled and on nil. The caller must own m exclusively; a payload
+// that was retained or aliased elsewhere must be detached (m.Payload = nil)
+// first, exactly as with ReleasePayload.
+func ReleaseMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	ReleasePayload(m)
+	topics := m.Topics
+	for i := range topics {
+		topics[i] = TopicPosition{}
+	}
+	*m = Message{}
+	m.Topics = topics[:0]
+	messagePool.Put(m)
 }
 
 // IsClusterInternal reports whether the kind is a server↔server frame.

@@ -20,6 +20,13 @@ type StreamDecoder struct {
 	// buffers (see DecodeBodyPooled). The decoder's owner then owns every
 	// returned payload and must ReleasePayload (or UnpoolPayload) each one.
 	PoolPayloads bool
+
+	// PoolMessages makes Next draw the Message structs themselves from the
+	// message pool. The decoder's owner then owns every returned message
+	// and must ReleaseMessage each one once it (and everything it
+	// references) is done — with both flags set the steady-state decode
+	// path allocates only the immutable strings a message carries.
+	PoolMessages bool
 }
 
 // Feed appends newly-received bytes to the pending buffer.
@@ -41,7 +48,7 @@ func (s *StreamDecoder) Next() (*Message, error) {
 	if len(s.buf) < total {
 		return nil, nil
 	}
-	m, err := decodeBody(s.buf[headerSize:total], s.PoolPayloads)
+	m, err := decodeBody(s.buf[headerSize:total], s.PoolPayloads, s.PoolMessages)
 	if err != nil {
 		return nil, err
 	}
