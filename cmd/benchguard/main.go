@@ -1,0 +1,65 @@
+// Command benchguard is the benchmark-trajectory regression gate: it diffs
+// fresh BENCH_*.json artifacts (emitted by the bench-smoke CI job via
+// metrics.AppendBenchJSON) against the checked-in baselines under
+// docs/bench-baselines/ and exits non-zero on a >25% msgs/s regression, any
+// real allocs/op increase, or any lock-acquisitions/op increase.
+//
+//	benchguard [-baselines docs/bench-baselines] [-min-ratio 0.75] BENCH_ingest.json BENCH_egress.json ...
+//
+// Each fresh file is matched to the baseline file with the same basename. A
+// missing baseline file fails the gate (commit one per the refresh runbook
+// in docs/BENCHMARKS.md); a fresh row with no baseline row is allowed (new
+// benchmarks land before their baselines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"migratorydata/internal/metrics"
+)
+
+func main() {
+	var (
+		baselines = flag.String("baselines", "docs/bench-baselines", "directory of baseline BENCH_*.json files")
+		minRatio  = flag.Float64("min-ratio", 0.75, "lowest acceptable fresh/baseline msgs/s ratio")
+		allocs    = flag.Float64("alloc-slack", 0.25, "allowed allocs/op increase over baseline")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no fresh BENCH_*.json files given")
+		os.Exit(2)
+	}
+	th := metrics.BenchThresholds{MinMsgsRatio: *minRatio, AllocSlack: *allocs}
+
+	failed := false
+	for _, freshPath := range flag.Args() {
+		basePath := filepath.Join(*baselines, filepath.Base(freshPath))
+		base, err := metrics.ReadBenchJSON(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: baseline %s: %v (run the refresh runbook in docs/BENCHMARKS.md)\n", basePath, err)
+			failed = true
+			continue
+		}
+		fresh, err := metrics.ReadBenchJSON(freshPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: fresh %s: %v\n", freshPath, err)
+			failed = true
+			continue
+		}
+		violations := metrics.CompareBenchRows(base, fresh, th)
+		if len(violations) == 0 {
+			fmt.Printf("benchguard: %s OK (%d baseline rows)\n", filepath.Base(freshPath), len(base))
+			continue
+		}
+		failed = true
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %s\n", filepath.Base(freshPath), v)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

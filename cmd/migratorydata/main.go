@@ -28,18 +28,19 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", ":8800", "listen address (host:port); cluster members use consecutive ports")
-		mode        = flag.String("mode", "ws", "client framing: ws or raw")
-		clusterSize = flag.Int("cluster", 1, "number of cluster members to run in this process (1 = single node)")
-		ioThreads   = flag.Int("iothreads", 0, "I/O threads per member (0 = GOMAXPROCS)")
-		workers     = flag.Int("workers", 0, "worker threads per member (0 = GOMAXPROCS)")
-		groups      = flag.Int("topic-groups", 100, "topic groups (cache/coordinator sharding)")
-		cacheCap    = flag.Int("cache", 1024, "history cache entries per topic")
-		batchDelay  = flag.Duration("batch-delay", 0, "output batching delay (0 = off)")
-		batchBytes  = flag.Int("batch-bytes", 32768, "output batching size trigger")
-		conflation  = flag.Duration("conflation", 0, "per-topic conflation interval (0 = off)")
-		statsEvery  = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
-		verbose     = flag.Bool("v", false, "verbose logging")
+		listen       = flag.String("listen", ":8800", "listen address (host:port); cluster members use consecutive ports")
+		mode         = flag.String("mode", "ws", "client framing: ws or raw")
+		clusterSize  = flag.Int("cluster", 1, "number of cluster members to run in this process (1 = single node)")
+		ioThreads    = flag.Int("iothreads", 0, "I/O threads per member (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "worker threads per member (0 = GOMAXPROCS)")
+		groups       = flag.Int("topic-groups", 100, "topic groups (cache/coordinator sharding)")
+		cacheCap     = flag.Int("cache", 1024, "history cache entries per topic")
+		batchDelay   = flag.Duration("batch-delay", 0, "output batching delay (0 = off)")
+		batchBytes   = flag.Int("batch-bytes", 32768, "output batching size trigger")
+		conflation   = flag.Duration("conflation", 0, "per-topic conflation interval (0 = off)")
+		egressBudget = flag.Int("egress-budget", 0, "per-client egress byte budget for slow-consumer protection (0 = default 1MiB, negative = off)")
+		statsEvery   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		verbose      = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 			BatchMaxBytes:      *batchBytes,
 			BatchMaxDelay:      *batchDelay,
 			ConflationInterval: *conflation,
+			EgressBudgetBytes:  *egressBudget,
 			Logger:             logger,
 		}
 	}
@@ -123,6 +125,10 @@ func main() {
 						"cache_topics", st.CacheTopics,
 						"cache_entries", st.CacheEntries,
 						"cache_bytes", st.CacheBytes,
+						"egress_queue_bytes", st.EgressQueueBytes,
+						"slow_consumers", st.SlowConsumers,
+						"pressure_drops", st.PressureDrops,
+						"pressure_disconnects", st.PressureDisconnects,
 						"gbps", fmt.Sprintf("%.3f", st.Gbps),
 						"cpu", fmt.Sprintf("%.1f%%", st.CPUUtilized*100))
 					if n := s.Node(); n != nil {

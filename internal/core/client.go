@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"migratorydata/internal/batch"
 	"migratorydata/internal/protocol"
+	"migratorydata/internal/queue"
 )
 
 // Client is one connected publisher or subscriber. Per the paper §4, a
@@ -23,6 +25,28 @@ type Client struct {
 	// decoder and batcher are owned by the IoThread.
 	decoder protocol.StreamDecoder
 	batcher *batch.Batcher
+
+	// batched counts the frames currently coalesced in batcher, so the
+	// egress ledger can release whole-frame events when a batch flushes.
+	// Owned by the IoThread.
+	batched int64
+
+	// backlog is the bounded pressure queue frames divert into once the
+	// transport stalls (docs/ARCHITECTURE.md, "The overload path"). Created
+	// lazily on first stall; owned by the IoThread, as is lastProbe, the
+	// rate limiter for inline recovery attempts against a carried
+	// transport.
+	backlog   *queue.Bounded[[]byte]
+	lastProbe time.Time
+
+	// stall is the framing's StallWriter when it has one and overload
+	// protection is on (cached to avoid a type assertion per write).
+	stall StallWriter
+
+	// egress is the per-client staged-egress budget account. Charged by
+	// Workers (and any goroutine calling SendFrame), released by the owning
+	// IoThread — all fields atomic.
+	egress egressLedger
 
 	// subs is owned by the Worker: topics this client subscribes to. The
 	// Worker mirrors the empty↔non-empty transitions of its per-topic
@@ -53,12 +77,27 @@ func (c *Client) Send(m *protocol.Message) {
 }
 
 // SendFrame queues an already-encoded frame for delivery. The frame may be
-// shared between clients and must not be mutated.
+// shared between clients and must not be mutated. Frames sent this way
+// (acks, replays, cluster control) are reliable for the overload policy:
+// they are never dropped under pressure.
 func (c *Client) SendFrame(frame []byte) {
+	c.sendFrameMeta(frame, "", false)
+}
+
+// sendFrameMeta is SendFrame carrying the overload-policy metadata: the
+// topic the frame belongs to and whether the pressure tiers may conflate or
+// drop it. The frame's bytes (and one event) are charged against the
+// client's egress budget here — the staging point — and released by the
+// IoThread when they reach the wire or are dropped.
+func (c *Client) sendFrameMeta(frame []byte, topic string, droppable bool) {
 	if c.closed.Load() {
 		return
 	}
-	c.io.in.Push(ioEvent{kind: evWrite, c: c, data: frame})
+	c.chargeEgress(int64(len(frame)))
+	if !c.io.in.Push(ioEvent{kind: evWrite, c: c, data: frame, topic: topic, droppable: droppable}) {
+		// Queue closed (engine shutdown): nobody will consume the charge.
+		c.releaseEgress(int64(len(frame)), 1)
+	}
 }
 
 // CloseAsync requests an asynchronous teardown of the connection.

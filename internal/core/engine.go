@@ -48,6 +48,33 @@ type Config struct {
 	BatchMaxDelay time.Duration
 	// ConflationInterval enables per-topic conflation when > 0 (§4).
 	ConflationInterval time.Duration
+	// EgressBudgetBytes bounds the bytes staged-but-unwritten toward one
+	// client (queued frames, batched output, pressure backlog, transport
+	// carry). 0 selects the default (1 MiB); negative disables overload
+	// protection entirely. See docs/ARCHITECTURE.md, "The overload path".
+	EgressBudgetBytes int
+	// EgressBudgetEvents bounds the frames staged toward one client.
+	// 0 selects the default (8192); negative leaves the event axis
+	// unbounded (bytes still bound).
+	EgressBudgetEvents int
+	// WriteStallTimeout bounds one transport write under overload
+	// protection: a write that cannot complete within it diverts the
+	// remainder into the framing's carry buffer instead of blocking the
+	// IoThread. 0 selects the default (2ms).
+	WriteStallTimeout time.Duration
+	// StallRetryEvery is the cadence of retry flushes for stalled clients.
+	// 0 selects the default (10ms).
+	StallRetryEvery time.Duration
+	// StallProbe bounds one retry-flush write attempt against a stalled
+	// transport. 0 selects the default (500µs).
+	StallProbe time.Duration
+	// Pressure maps egress budget usage to the overload tier; zero value
+	// selects the default thresholds (0.5 / 0.8 / 1.0).
+	Pressure PressurePolicy
+	// Classify assigns each topic a delivery class for the overload
+	// policy. nil classifies every topic ClassReliable (never dropped; a
+	// critically slow consumer is fenced off and resumes via replay).
+	Classify ClassifyFunc
 	// TickInterval drives batching/conflation timers. Default: half the
 	// smallest enabled delay, clamped to [1ms, 50ms].
 	TickInterval time.Duration
@@ -94,6 +121,21 @@ func (cfg Config) withDefaults() Config {
 			cfg.TickInterval = 50 * time.Millisecond
 		}
 	}
+	if cfg.EgressBudgetBytes == 0 {
+		cfg.EgressBudgetBytes = 1 << 20
+	}
+	if cfg.EgressBudgetEvents == 0 {
+		cfg.EgressBudgetEvents = 8192
+	}
+	if cfg.WriteStallTimeout <= 0 {
+		cfg.WriteStallTimeout = 2 * time.Millisecond
+	}
+	if cfg.StallRetryEvery <= 0 {
+		cfg.StallRetryEvery = 10 * time.Millisecond
+	}
+	if cfg.StallProbe <= 0 {
+		cfg.StallProbe = 500 * time.Microsecond
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -109,6 +151,13 @@ type Engine struct {
 	subIndex  *subIndex
 	publishFn PublishFunc
 	logger    *slog.Logger
+
+	// Overload protection, precomputed from cfg (see pressure.go).
+	protect            bool
+	egressBudgetBytes  int64
+	egressBudgetEvents int64
+	pressure           pressureThresholds
+	classifyFn         ClassifyFunc
 
 	mu        sync.Mutex
 	clients   map[uint64]*Client
@@ -131,6 +180,7 @@ type engineStats struct {
 	connects      metrics.Counter
 	routing       metrics.RoutingCounters
 	egress        metrics.EgressCounters
+	pressure      metrics.PressureCounters
 }
 
 // New constructs and starts an Engine: IoThread and Worker loops begin
@@ -145,6 +195,15 @@ func New(cfg Config) *Engine {
 		logger:   cfg.Logger,
 		tickStop: make(chan struct{}),
 	}
+	e.protect = cfg.EgressBudgetBytes > 0
+	if e.protect {
+		e.egressBudgetBytes = int64(cfg.EgressBudgetBytes)
+		if cfg.EgressBudgetEvents > 0 {
+			e.egressBudgetEvents = int64(cfg.EgressBudgetEvents)
+		}
+		e.pressure = cfg.Pressure.thresholds(e.egressBudgetBytes, e.egressBudgetEvents)
+	}
+	e.classifyFn = cfg.Classify
 	if cfg.Publish != nil {
 		e.publishFn = cfg.Publish
 	} else {
@@ -277,6 +336,15 @@ func (e *Engine) Attach(framed Framed) (*Client, error) {
 	c.io = e.ioThreads[pinIndex(framed.RemoteAddr(), id, len(e.ioThreads))]
 	c.worker = e.workers[pinIndex(framed.RemoteAddr(), id, len(e.workers))]
 	c.batcher = batch.NewBatcher(e.cfg.BatchMaxBytes, e.cfg.BatchMaxDelay)
+	if e.protect {
+		// Stall-aware writes keep one slow consumer from blocking its
+		// IoThread; framings without stall support keep legacy blocking
+		// writes (budget accounting still applies).
+		if sw, ok := framed.(StallWriter); ok {
+			sw.SetWriteStall(e.cfg.WriteStallTimeout)
+			c.stall = sw
+		}
+	}
 	// Decoded messages and their payloads ride pooled memory; the worker
 	// releases or detaches them per message kind (see handleClientMsg), so
 	// the steady-state decode→dispatch→publish path allocates only the
@@ -416,6 +484,14 @@ func (e *Engine) DeliverGroup(group int, topic string, entry cache.Entry) int {
 	return routed
 }
 
+// classify returns topic's delivery class under the configured policy.
+func (e *Engine) classify(topic string) DeliveryClass {
+	if e.classifyFn == nil {
+		return ClassReliable
+	}
+	return e.classifyFn(topic)
+}
+
 // Cache exposes the history cache (the cluster layer appends replicated
 // messages to it, §5.2.2).
 func (e *Engine) Cache() *cache.Cache { return e.cache }
@@ -479,31 +555,68 @@ type Stats struct {
 	CacheTopics  int64
 	CacheEntries int64
 	CacheBytes   int64
-	BytesOut     int64
-	Gbps         float64
-	CPUUtilized  float64
+	// EgressQueueBytes gauges the bytes currently staged-but-unwritten
+	// toward clients (queued frames, batched output, pressure backlogs,
+	// transport carry — "egress_queue_bytes"). SlowConsumers gauges the
+	// clients currently above the healthy pressure tier
+	// ("slow_consumers"), and SlowConsumerBytes the staged bytes they pin
+	// — bounded by EgressBudgetBytes × SlowConsumers. PressureDrops counts
+	// frames conflated away or evicted by the overload policy
+	// ("pressure_drops"); PressureDisconnects counts fenced disconnects of
+	// critically slow consumers ("pressure_disconnects").
+	EgressQueueBytes    int64
+	SlowConsumers       int64
+	SlowConsumerBytes   int64
+	PressureDrops       int64
+	PressureDisconnects int64
+	BytesOut            int64
+	Gbps                float64
+	CPUUtilized         float64
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	ms := e.cache.MemStats()
+	// The egress gauges sum the per-client ledgers under the registry lock
+	// (a cold path), so the staging hot path pays no shared-cacheline
+	// contention for them.
+	var egressBytes, slowBytes, slow, connections int64
+	e.mu.Lock()
+	connections = int64(len(e.clients))
+	for _, c := range e.clients {
+		b := c.egress.bytes.Load()
+		if b < 0 {
+			b = 0 // transient: a release raced a concurrent charge
+		}
+		egressBytes += b
+		if c.egress.stalled.Load() {
+			slow++
+			slowBytes += b
+		}
+	}
+	e.mu.Unlock()
 	return Stats{
-		CacheTopics:    int64(ms.Topics),
-		CacheEntries:   int64(ms.Entries),
-		CacheBytes:     ms.Bytes(),
-		Connections:    e.NumClients(),
-		Connects:       e.stats.connects.Value(),
-		Published:      e.stats.published.Value(),
-		Delivered:      e.stats.delivered.Value(),
-		Retransmitted:  e.stats.retransmitted.Value(),
-		DeliverRouted:  e.stats.routing.Routed.Value(),
-		DeliverSkipped: e.stats.routing.Skipped.Value(),
-		FanoutEvents:   e.stats.egress.FanoutEvents.Value(),
-		IOFlushes:      e.stats.egress.Flushes.Value(),
-		IOFlushBytes:   e.stats.egress.FlushBytes.Value(),
-		BytesOut:       e.traffic.Bytes(),
-		Gbps:           e.traffic.Gbps(),
-		CPUUtilized:    e.cpu.Utilization(),
+		CacheTopics:         int64(ms.Topics),
+		CacheEntries:        int64(ms.Entries),
+		CacheBytes:          ms.Bytes(),
+		EgressQueueBytes:    egressBytes,
+		SlowConsumers:       slow,
+		SlowConsumerBytes:   slowBytes,
+		PressureDrops:       e.stats.pressure.Drops.Value(),
+		PressureDisconnects: e.stats.pressure.Disconnects.Value(),
+		Connections:         int(connections),
+		Connects:            e.stats.connects.Value(),
+		Published:           e.stats.published.Value(),
+		Delivered:           e.stats.delivered.Value(),
+		Retransmitted:       e.stats.retransmitted.Value(),
+		DeliverRouted:       e.stats.routing.Routed.Value(),
+		DeliverSkipped:      e.stats.routing.Skipped.Value(),
+		FanoutEvents:        e.stats.egress.FanoutEvents.Value(),
+		IOFlushes:           e.stats.egress.Flushes.Value(),
+		IOFlushBytes:        e.stats.egress.FlushBytes.Value(),
+		BytesOut:            e.traffic.Bytes(),
+		Gbps:                e.traffic.Gbps(),
+		CPUUtilized:         e.cpu.Utilization(),
 	}
 }
 

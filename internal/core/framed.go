@@ -15,7 +15,9 @@
 package core
 
 import (
+	"errors"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"migratorydata/internal/bufpool"
@@ -53,9 +55,38 @@ func RecycleReadChunk(chunk []byte) {
 	bufpool.Put(chunk)
 }
 
+// StallWriter is the optional Framed extension behind overload protection
+// (docs/ARCHITECTURE.md, "The overload path"). With a stall bound set, a
+// WriteBatch blocks at most that long; wire bytes that did not fit are
+// retained internally (wire-exact, order preserved) and drained by
+// FlushStalled — so one client that stops reading can never stall the
+// IoThread that owns it. Both built-in framings implement it; a Framed that
+// does not simply keeps the legacy blocking behavior.
+type StallWriter interface {
+	// SetWriteStall bounds one transport write. d <= 0 restores blocking
+	// writes with the default long timeout.
+	SetWriteStall(d time.Duration)
+	// StalledBytes reports retained unwritten wire bytes. Safe from any
+	// goroutine.
+	StalledBytes() int64
+	// FlushStalled attempts to drain retained bytes, blocking at most
+	// probe, and returns the bytes actually written (exact, even when
+	// other writers append to the retained buffer concurrently — the
+	// engine's ledger reconciliation depends on this). A still-full peer
+	// is not an error; transport failures are.
+	FlushStalled(probe time.Duration) (int64, error)
+}
+
 // rawFramed carries protocol frames directly on a net.Conn.
 type rawFramed struct {
 	conn net.Conn
+
+	// Stall-aware write state (see StallWriter). Only the owning IoThread
+	// writes, so carry needs no lock; carried mirrors its length for
+	// lock-free readers (Workers computing pressure tiers).
+	stall   time.Duration
+	carry   []byte
+	carried atomic.Int64
 }
 
 // NewRawFramed wraps a net.Conn carrying raw protocol frames.
@@ -76,11 +107,60 @@ func (r *rawFramed) ReadChunk() ([]byte, error) {
 	return nil, err
 }
 
-// WriteBatch implements Framed.
+// WriteBatch implements Framed. With a write-stall bound set the call
+// consumes the batch within the bound: unwritten bytes are carried and the
+// client is handled as a slow consumer (pressure tiers, retried flushes)
+// instead of blocking the IoThread.
 func (r *rawFramed) WriteBatch(batch []byte) error {
-	_ = r.conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
-	_, err := r.conn.Write(batch)
+	if r.stall <= 0 {
+		_ = r.conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+		_, err := r.conn.Write(batch)
+		return err
+	}
+	if len(r.carry) > 0 {
+		// Strict FIFO: earlier carried bytes must reach the wire first.
+		r.carry = append(r.carry, batch...)
+		r.carried.Store(int64(len(r.carry)))
+		return nil
+	}
+	_ = r.conn.SetWriteDeadline(time.Now().Add(r.stall))
+	n, err := r.conn.Write(batch)
+	if err != nil && isStallTimeout(err) {
+		r.carry = append(r.carry, batch[n:]...)
+		r.carried.Store(int64(len(r.carry)))
+		return nil
+	}
 	return err
+}
+
+// SetWriteStall implements StallWriter.
+func (r *rawFramed) SetWriteStall(d time.Duration) { r.stall = d }
+
+// StalledBytes implements StallWriter.
+func (r *rawFramed) StalledBytes() int64 { return r.carried.Load() }
+
+// FlushStalled implements StallWriter.
+func (r *rawFramed) FlushStalled(probe time.Duration) (int64, error) {
+	if len(r.carry) == 0 {
+		return 0, nil
+	}
+	_ = r.conn.SetWriteDeadline(time.Now().Add(probe))
+	n, err := r.conn.Write(r.carry)
+	if n > 0 {
+		rest := copy(r.carry, r.carry[n:])
+		r.carry = r.carry[:rest]
+		r.carried.Store(int64(rest))
+	}
+	if err != nil && !isStallTimeout(err) {
+		return int64(n), err
+	}
+	return int64(n), nil
+}
+
+// isStallTimeout reports whether err is a write-deadline expiry.
+func isStallTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Close implements Framed.
@@ -91,7 +171,8 @@ func (r *rawFramed) RemoteAddr() string { return r.conn.RemoteAddr().String() }
 
 // wsFramed carries protocol frames inside WebSocket binary messages.
 type wsFramed struct {
-	ws *websocket.Conn
+	ws       *websocket.Conn
+	stalling bool // write-stall bound active (the ws layer sets deadlines)
 }
 
 // NewWebSocketFramed wraps an established (post-handshake) WebSocket
@@ -112,9 +193,24 @@ func (w *wsFramed) ReadChunk() ([]byte, error) {
 // WriteBatch implements Framed: the whole batch rides in one binary message
 // (transport-level batching for free).
 func (w *wsFramed) WriteBatch(batch []byte) error {
-	_ = w.ws.NetConn().SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	if !w.stalling {
+		_ = w.ws.NetConn().SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	}
 	return w.ws.WriteMessage(websocket.OpBinary, batch)
 }
+
+// SetWriteStall implements StallWriter (the websocket layer owns the carry,
+// since control frames written from the read loop share the same wire).
+func (w *wsFramed) SetWriteStall(d time.Duration) {
+	w.stalling = d > 0
+	w.ws.SetWriteStall(d)
+}
+
+// StalledBytes implements StallWriter.
+func (w *wsFramed) StalledBytes() int64 { return w.ws.StalledBytes() }
+
+// FlushStalled implements StallWriter.
+func (w *wsFramed) FlushStalled(probe time.Duration) (int64, error) { return w.ws.FlushStalled(probe) }
 
 // Close implements Framed.
 func (w *wsFramed) Close() error { return w.ws.Close() }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"migratorydata/internal/protocol"
 	"migratorydata/internal/queue"
 )
 
@@ -27,15 +28,23 @@ const (
 	// evFunc runs a closure on the IoThread loop (introspection and tests:
 	// ioThread-owned state can be read without races only from here).
 	evFunc
+	// evStallRetry re-attempts transport flushes for stalled clients. It is
+	// self-scheduled (a timer armed while the stalled set is non-empty), so
+	// engines without slow consumers pay nothing.
+	evStallRetry
 )
 
-// ioEvent is one unit of IoThread work.
+// ioEvent is one unit of IoThread work. topic and droppable are the
+// overload-policy metadata of write events: which topic the frame belongs
+// to and whether the pressure tiers may conflate or drop it.
 type ioEvent struct {
-	kind ioEventKind
-	c    *Client
-	data []byte
-	set  *writeSet // evWriteMulti payload
-	fn   func()    // evFunc payload
+	kind      ioEventKind
+	c         *Client
+	data      []byte
+	set       *writeSet // evWriteMulti payload
+	fn        func()    // evFunc payload
+	topic     string
+	droppable bool
 }
 
 // writeSet is a pooled list of fan-out targets for one evWriteMulti event.
@@ -60,6 +69,10 @@ func (ws *writeSet) release() {
 	writeSetPool.Put(ws)
 }
 
+// drainChunkBytes bounds one backlog-drain write, so recovery from a long
+// stall goes out as transport-sized batches instead of one giant write.
+const drainChunkBytes = 16 << 10
+
 // ioThread is one I/O-layer thread (paper §4): it owns the read-side
 // decoding and the write side of every client pinned to it. Because a
 // client is touched by exactly one ioThread, its decoder and batcher need
@@ -73,6 +86,16 @@ type ioThread struct {
 	// pendingFlush tracks clients with batched-but-unflushed output, so
 	// ticks only visit clients that need it.
 	pendingFlush map[*Client]struct{}
+
+	// stalled tracks clients whose transport write stalled (carried bytes
+	// or a non-empty backlog); retryArmed guards the single retry timer,
+	// and lastProbe rate-limits inline blocking probes thread-wide.
+	stalled    map[*Client]struct{}
+	retryArmed bool
+	lastProbe  time.Time
+
+	// drainScratch is the reused buffer backlog drains are coalesced into.
+	drainScratch []byte
 }
 
 func newIoThread(index int, e *Engine) *ioThread {
@@ -81,6 +104,7 @@ func newIoThread(index int, e *Engine) *ioThread {
 		in:           queue.NewMPSC[ioEvent](),
 		engine:       e,
 		pendingFlush: make(map[*Client]struct{}),
+		stalled:      make(map[*Client]struct{}),
 	}
 }
 
@@ -106,15 +130,17 @@ func (t *ioThread) handle(ev *ioEvent) {
 	case evBytes:
 		t.handleBytes(ev.c, ev.data)
 	case evWrite:
-		t.handleWrite(ev.c, ev.data)
+		t.handleWrite(ev)
 	case evWriteMulti:
-		t.handleWriteMulti(ev.set, ev.data)
+		t.handleWriteMulti(ev)
 	case evClose:
 		t.teardown(ev.c)
 	case evTick:
 		t.flushDue()
 	case evFunc:
 		ev.fn()
+	case evStallRetry:
+		t.retryStalled()
 	}
 }
 
@@ -162,30 +188,52 @@ func (t *ioThread) handleBytes(c *Client, data []byte) {
 
 // handleWrite batches the frame for the client and writes when the batcher
 // says so.
-func (t *ioThread) handleWrite(c *Client, frame []byte) {
+func (t *ioThread) handleWrite(ev *ioEvent) {
+	c := ev.c
 	if c.closed.Load() {
+		// Staged before the teardown won: nobody consumes the charge.
+		c.releaseEgress(int64(len(ev.data)), 1)
 		return
 	}
-	t.batchFrame(c, frame, time.Now())
+	t.batchFrame(c, ev.data, ev.topic, ev.droppable, time.Now())
 }
 
 // handleWriteMulti feeds one shared frame into the batcher of every client
 // in the set — the IoThread half of grouped fan-out. One time.Now() covers
 // the whole set, and the set returns to its pool afterwards.
-func (t *ioThread) handleWriteMulti(set *writeSet, frame []byte) {
+func (t *ioThread) handleWriteMulti(ev *ioEvent) {
 	now := time.Now()
-	for _, c := range set.clients {
+	frame := ev.data
+	for _, c := range ev.set.clients {
 		if c.closed.Load() {
+			c.releaseEgress(int64(len(frame)), 1)
 			continue
 		}
-		t.batchFrame(c, frame, now)
+		t.batchFrame(c, frame, ev.topic, ev.droppable, now)
 	}
-	set.release()
+	ev.set.release()
 }
 
 // batchFrame adds one frame to c's batcher, writing on a size-triggered (or
 // batching-off) flush and tracking delay-triggered flushes in pendingFlush.
-func (t *ioThread) batchFrame(c *Client, frame []byte, now time.Time) {
+// A client whose transport has stalled (or that still holds a pressure
+// backlog) first gets an inline recovery attempt — a reader that merely
+// hiccuped must not be throttled to the retry-timer cadence — and, if
+// still blocked, the frame diverts into the bounded backlog under the
+// client's current pressure tier.
+func (t *ioThread) batchFrame(c *Client, frame []byte, topic string, droppable bool, now time.Time) {
+	if t.engine.protect && c.egressBlocked() {
+		t.recoverEgress(c, now)
+		if c.closed.Load() {
+			c.releaseEgress(int64(len(frame)), 1)
+			return
+		}
+		if c.egressBlocked() {
+			t.pushBacklog(c, frame, topic, droppable)
+			return
+		}
+	}
+	c.batched++
 	out := c.batcher.Add(now, frame)
 	if out == nil {
 		t.pendingFlush[c] = struct{}{}
@@ -195,7 +243,204 @@ func (t *ioThread) batchFrame(c *Client, frame []byte, now time.Time) {
 	// entry (from frames batched earlier in this interval) must go too —
 	// otherwise every tick would re-visit a client with nothing due.
 	delete(t.pendingFlush, c)
-	t.write(c, out)
+	frames := c.batched
+	c.batched = 0
+	t.write(c, out, frames)
+}
+
+// recoverEgress opportunistically services a blocked client from the
+// delivery path. A transport with no carried bytes is free — only the
+// backlog's FIFO ordering blocks the fast path — so it drains inline at
+// wire speed (the recovery a fast reader needs after a momentary hiccup).
+// A still-carried transport is probed at most once per StallRetryEvery per
+// client AND behind a thread-wide probe-rate limit (one blocking probe per
+// 2 × StallProbe), so inline probe time stays bounded no matter how many
+// stalled clients keep receiving traffic; the timer-driven retry otherwise
+// owns them.
+func (t *ioThread) recoverEgress(c *Client, now time.Time) {
+	if c.stallBytes() > 0 {
+		if now.Sub(c.lastProbe) < t.engine.cfg.StallRetryEvery ||
+			now.Sub(t.lastProbe) < 2*t.engine.cfg.StallProbe {
+			return
+		}
+		c.lastProbe = now
+		t.lastProbe = now
+	}
+	t.flushStalled(c)
+}
+
+// pushBacklog stages one frame into c's bounded pressure backlog, applying
+// the delivery policy of the client's current tier: append while healthy,
+// per-topic conflation at TierConflate, drop-oldest-conflatable at
+// TierDrop. When even eviction cannot satisfy the budget — only reliable
+// traffic remains — the client has reached TierCritical and is fenced off.
+func (t *ioThread) pushBacklog(c *Client, frame []byte, topic string, droppable bool) {
+	if c.backlog == nil {
+		c.backlog = queue.NewBounded(t.engine.egressBudgetBytes, int(t.engine.egressBudgetEvents),
+			func(it queue.BoundedItem[[]byte]) {
+				// Policy drop (conflated away or evicted): release the
+				// budget and count it.
+				c.releaseEgress(it.Size, 1)
+				t.engine.stats.pressure.Drops.Inc()
+			})
+	}
+	mode := queue.PushAppend
+	switch tier := c.tier(); {
+	case tier >= TierDrop:
+		mode = queue.PushEvict
+	case tier >= TierConflate:
+		mode = queue.PushConflate
+	}
+	res := c.backlog.Push(queue.BoundedItem[[]byte]{
+		Value: frame, Size: int64(len(frame)), Key: topic, Droppable: droppable,
+	}, mode)
+	if !res.Stored {
+		c.releaseEgress(int64(len(frame)), 1)
+		return
+	}
+	t.markStalled(c)
+	if res.OverBudget && c.tier() >= TierCritical {
+		t.overloadDisconnect(c)
+	}
+}
+
+// overloadDisconnect fences a critically-overloaded client: a best-effort
+// terminal DISCONNECT frame (so a live-but-slow client knows to reconnect
+// rather than wait), then teardown. The client recovers losslessly by
+// resubscribing with its last (epoch, seq) position — the history cache
+// replays everything it missed, the same path as any reconnection (§3).
+func (t *ioThread) overloadDisconnect(c *Client) {
+	t.engine.stats.pressure.Disconnects.Inc()
+	t.engine.logger.Debug("overload: disconnecting slow consumer",
+		"client", c.RemoteAddr(), "egress_bytes", c.egress.bytes.Load())
+	_ = c.framed.WriteBatch(terminalDisconnectFrame())
+	t.teardown(c)
+}
+
+// terminalDisconnectFrame returns the shared pre-encoded fenced-disconnect
+// frame (StatusRedirect: resume on a fresh connection).
+var terminalDisconnectFrame = sync.OnceValue(func() []byte {
+	return protocol.Encode(&protocol.Message{
+		Kind:   protocol.KindDisconnect,
+		Status: protocol.StatusRedirect,
+	})
+})
+
+// markStalled tracks c for retry flushes and arms the retry timer.
+func (t *ioThread) markStalled(c *Client) {
+	if _, ok := t.stalled[c]; ok {
+		return
+	}
+	t.stalled[c] = struct{}{}
+	c.egress.stalled.Store(true)
+	t.armRetry()
+}
+
+// unmarkStalled removes c from the stalled set.
+func (t *ioThread) unmarkStalled(c *Client) {
+	if _, ok := t.stalled[c]; !ok {
+		return
+	}
+	delete(t.stalled, c)
+	c.egress.stalled.Store(false)
+}
+
+// armRetry schedules one evStallRetry unless one is already pending.
+func (t *ioThread) armRetry() {
+	if t.retryArmed {
+		return
+	}
+	t.retryArmed = true
+	in := t.in
+	time.AfterFunc(t.engine.cfg.StallRetryEvery, func() {
+		in.Push(ioEvent{kind: evStallRetry}) // no-op after engine close
+	})
+}
+
+// maxProbesPerRetry caps the blocking carry probes one retry tick may
+// issue, so the IoThread time lost to full-transport probes stays bounded
+// (≤ maxProbesPerRetry × StallProbe per StallRetryEvery) no matter how
+// many clients are stalled — Go's randomized map iteration rotates which
+// clients get probed each tick. Clients whose transport is free (backlog
+// only) are always serviced: their drains cost no probe time.
+const maxProbesPerRetry = 4
+
+// retryStalled re-attempts transport flushes for stalled clients,
+// re-arming the timer while any remain.
+func (t *ioThread) retryStalled() {
+	t.retryArmed = false
+	probes := 0
+	for c := range t.stalled {
+		if c.closed.Load() {
+			t.unmarkStalled(c)
+			continue
+		}
+		if c.stallBytes() > 0 {
+			if probes >= maxProbesPerRetry {
+				continue // next tick; map order rotates fairness
+			}
+			probes++
+		}
+		t.flushStalled(c)
+	}
+	if len(t.stalled) > 0 {
+		t.armRetry()
+	}
+}
+
+// flushStalled drives one stalled client toward recovery: drain the
+// transport carry, then any batched-but-unflushed output, then the pressure
+// backlog — in that order, preserving the wire order of every surviving
+// frame. The client leaves the stalled set once everything is flushed.
+func (t *ioThread) flushStalled(c *Client) {
+	if sw := c.stall; sw != nil && sw.StalledBytes() > 0 {
+		flushed, err := sw.FlushStalled(t.engine.cfg.StallProbe)
+		if flushed > 0 {
+			c.releaseEgress(flushed, 0)
+			t.engine.stats.egress.FlushBytes.Add(flushed)
+			t.engine.traffic.AddBytes(flushed)
+		}
+		if err != nil {
+			t.engine.logger.Debug("stall flush error, closing client",
+				"client", c.RemoteAddr(), "err", err)
+			t.teardown(c)
+			return
+		}
+	}
+	if c.stallBytes() > 0 {
+		return // transport still full; retry later
+	}
+	if c.batcher.Pending() > 0 {
+		out := c.batcher.Flush()
+		frames := c.batched
+		c.batched = 0
+		delete(t.pendingFlush, c)
+		if !t.write(c, out, frames) {
+			return
+		}
+	}
+	t.drainBacklog(c)
+	if !c.closed.Load() && c.stallBytes() == 0 && (c.backlog == nil || c.backlog.Len() == 0) {
+		t.unmarkStalled(c)
+	}
+}
+
+// drainBacklog writes the pressure backlog out in transport-sized batches —
+// the recovery path rides the same batching machinery as §4 output batching
+// — stopping as soon as the transport stalls again.
+func (t *ioThread) drainBacklog(c *Client) {
+	for c.backlog != nil && c.backlog.Len() > 0 && c.stallBytes() == 0 {
+		t.drainScratch = t.drainScratch[:0]
+		frames := int64(0)
+		c.backlog.Drain(func(it queue.BoundedItem[[]byte]) bool {
+			t.drainScratch = append(t.drainScratch, it.Value...)
+			frames++
+			return len(t.drainScratch) < drainChunkBytes
+		})
+		if !t.write(c, t.drainScratch, frames) {
+			return
+		}
+	}
 }
 
 // flushDue flushes every client whose batch delay has expired.
@@ -209,6 +454,7 @@ func (t *ioThread) flushDue() {
 			delete(t.pendingFlush, c)
 			continue
 		}
+		frames := c.batched
 		out := c.batcher.Due(now)
 		if out == nil {
 			if c.batcher.Pending() == 0 {
@@ -217,21 +463,48 @@ func (t *ioThread) flushDue() {
 			continue
 		}
 		delete(t.pendingFlush, c)
-		t.write(c, out)
+		c.batched = 0
+		t.write(c, out, frames)
 	}
 }
 
-// write sends a batch to the client, tearing the connection down on error.
-func (t *ioThread) write(c *Client, out []byte) {
-	if err := c.framed.WriteBatch(out); err != nil {
+// write sends a batch of frames to the client, tearing the connection down
+// on error. With overload protection, a stalling transport consumes the
+// batch into its carry buffer instead of blocking: the carried bytes stay
+// charged to the client's egress budget until a later flush drains them,
+// and the client joins the stalled set. Reports whether the client is still
+// usable (false after teardown).
+func (t *ioThread) write(c *Client, out []byte, frames int64) bool {
+	var before int64
+	if c.stall != nil {
+		before = c.stall.StalledBytes()
+	}
+	err := c.framed.WriteBatch(out)
+	if err != nil {
+		c.releaseEgress(int64(len(out)), frames)
 		t.engine.logger.Debug("write error, closing client",
 			"client", c.RemoteAddr(), "err", err)
 		t.teardown(c)
-		return
+		return false
+	}
+	carried := int64(0)
+	if c.stall != nil {
+		carried = c.stall.StalledBytes() - before
+		if carried < 0 {
+			carried = 0
+		}
+	}
+	// Frames are consumed (wire or carry): release their events now, and
+	// the bytes that actually left; carried bytes stay charged until a
+	// retry flush drains them.
+	c.releaseEgress(int64(len(out))-carried, frames)
+	if carried > 0 {
+		t.markStalled(c)
 	}
 	t.engine.stats.egress.Flushes.Inc()
-	t.engine.stats.egress.FlushBytes.Add(int64(len(out)))
-	t.engine.traffic.AddBytes(int64(len(out)))
+	t.engine.stats.egress.FlushBytes.Add(int64(len(out)) - carried)
+	t.engine.traffic.AddBytes(int64(len(out)) - carried)
+	return true
 }
 
 // teardown closes the connection and detaches the client from its Worker.
@@ -241,6 +514,13 @@ func (t *ioThread) teardown(c *Client) {
 		return
 	}
 	delete(t.pendingFlush, c)
+	t.unmarkStalled(c)
+	if c.backlog != nil {
+		// Teardown, not policy: release the budget without counting drops.
+		c.backlog.Close(func(it queue.BoundedItem[[]byte]) {
+			c.releaseEgress(it.Size, 1)
+		})
+	}
 	_ = c.framed.Close()
 	c.worker.in.Push(workerEvent{kind: weDetach, c: c})
 	t.engine.unregister(c)

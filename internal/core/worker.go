@@ -275,23 +275,33 @@ func (w *worker) fanOut(topic string, frame []byte) {
 // staged evWriteMulti per non-empty bucket; flushEgress pushes the staged
 // events out. Split from fanOut so flushConflated can stage several
 // aggregates and flush them to each ioThread in one queue operation.
+//
+// This is the staging point of the egress budget: every target client is
+// charged the frame's bytes (and one event) here, and the events carry the
+// topic and its delivery class so the owning IoThread can apply the
+// pressure-tier policy per client.
 func (w *worker) stageFanout(topic string, frame []byte) {
 	set := w.subsByTopic[topic]
 	if len(set) == 0 {
 		return
 	}
+	droppable := w.engine.classify(topic) == ClassConflatable
+	size := int64(len(frame))
 	if len(set) == 1 {
 		// Singleton fast path — the C10M shape (every client the sole
 		// subscriber of its own topic): a plain evWrite needs no pooled
 		// write set, so nothing shuttles between the worker's and the
 		// ioThread's sync.Pool caches.
 		for c := range set {
-			w.ioEvents[c.io.index] = append(w.ioEvents[c.io.index], ioEvent{kind: evWrite, c: c, data: frame})
+			c.chargeEgress(size)
+			w.ioEvents[c.io.index] = append(w.ioEvents[c.io.index],
+				ioEvent{kind: evWrite, c: c, data: frame, topic: topic, droppable: droppable})
 		}
 		w.engine.stats.delivered.Inc()
 		return
 	}
 	for c := range set {
+		c.chargeEgress(size)
 		ws := w.ioBuckets[c.io.index]
 		if ws == nil {
 			ws = getWriteSet()
@@ -304,7 +314,8 @@ func (w *worker) stageFanout(topic string, frame []byte) {
 			continue
 		}
 		w.ioBuckets[ti] = nil
-		w.ioEvents[ti] = append(w.ioEvents[ti], ioEvent{kind: evWriteMulti, set: ws, data: frame})
+		w.ioEvents[ti] = append(w.ioEvents[ti],
+			ioEvent{kind: evWriteMulti, set: ws, data: frame, topic: topic, droppable: droppable})
 	}
 	w.engine.stats.delivered.Add(int64(len(set)))
 }
@@ -321,11 +332,18 @@ func (w *worker) flushEgress() {
 		if w.engine.ioThreads[ti].in.PushAll(evs) {
 			w.engine.stats.egress.FanoutEvents.Add(int64(len(evs)))
 		} else {
-			// Queue closed during shutdown: nobody will drain the sets.
-			// Singleton fast-path events (plain evWrite) carry no set.
+			// Queue closed during shutdown: nobody will drain the sets or
+			// consume the egress charges. Singleton fast-path events (plain
+			// evWrite) carry no set.
 			for i := range evs {
+				size := int64(len(evs[i].data))
 				if evs[i].set != nil {
+					for _, c := range evs[i].set.clients {
+						c.releaseEgress(size, 1)
+					}
 					evs[i].set.release()
+				} else if evs[i].c != nil {
+					evs[i].c.releaseEgress(size, 1)
 				}
 			}
 		}

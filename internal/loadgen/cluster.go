@@ -192,6 +192,10 @@ func RunClusterScenario(cfg ClusterScenario) (Result, error) {
 		res.CacheTopics += st.CacheTopics
 		res.CacheEntries += st.CacheEntries
 		res.CacheBytes += st.CacheBytes
+		res.EgressQueueBytes += st.EgressQueueBytes
+		res.SlowConsumers += st.SlowConsumers
+		res.PressureDrops += st.PressureDrops
+		res.PressureDisconnects += st.PressureDisconnects
 	}
 	res.CPU /= float64(len(engines))
 	return res, nil

@@ -129,6 +129,15 @@ type Result struct {
 	CacheTopics  int64
 	CacheEntries int64
 	CacheBytes   int64
+	// Overload-path observability (summed over members on cluster runs):
+	// EgressQueueBytes/SlowConsumers snapshot the staged-egress gauges at
+	// the end of the run; PressureDrops/PressureDisconnects count frames
+	// dropped by the pressure policy and fenced slow-consumer disconnects
+	// (see core.Stats and metrics.PressureCounters).
+	EgressQueueBytes    int64
+	SlowConsumers       int64
+	PressureDrops       int64
+	PressureDisconnects int64
 }
 
 // Row formats the result like a row of Table 1 (latencies in ms).
@@ -263,6 +272,11 @@ func runWith(sc Scenario, subAttach, pubAttach AttachFunc,
 		CacheTopics:    st.CacheTopics,
 		CacheEntries:   st.CacheEntries,
 		CacheBytes:     st.CacheBytes,
+
+		EgressQueueBytes:    st.EgressQueueBytes,
+		SlowConsumers:       st.SlowConsumers,
+		PressureDrops:       st.PressureDrops,
+		PressureDisconnects: st.PressureDisconnects,
 	}, nil
 }
 

@@ -63,12 +63,14 @@ type SubConfig struct {
 
 // subConn is the per-connection subscriber state machine.
 type subConn struct {
-	idx   int
-	topic string
-	epoch uint32
-	seq   uint64
-	conn  net.Conn
-	mu    sync.Mutex // guards conn swap during failover
+	idx      int
+	topic    string
+	epoch    uint32
+	seq      uint64
+	conn     net.Conn
+	mu       sync.Mutex   // guards conn swap during failover
+	received atomic.Int64 // notifications observed on this connection
+	stalled  atomic.Bool  // reader paused (slow-consumer scenarios)
 }
 
 // Benchsub is a fleet of subscriber connections.
@@ -187,6 +189,15 @@ func (b *Benchsub) readLoop(sc *subConn) error {
 	dec.PoolMessages = true
 	buf := make([]byte, b.cfg.ReadBuffer)
 	for {
+		// A stalled reader simply stops issuing reads while keeping the
+		// connection open — the slow-consumer shape: the server's transport
+		// buffer fills and its overload path takes over.
+		for sc.stalled.Load() && !b.closed.Load() {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if b.closed.Load() {
+			return nil
+		}
 		n, err := conn.Read(buf)
 		if n > 0 {
 			dec.Feed(buf[:n])
@@ -228,6 +239,7 @@ func (b *Benchsub) observe(sc *subConn, m *protocol.Message) {
 	sc.epoch, sc.seq = m.Epoch, m.Seq
 
 	b.received.Add(1)
+	sc.received.Add(1)
 	if m.Flags&protocol.FlagRetransmission != 0 {
 		b.recovered.Add(1)
 	}
@@ -248,6 +260,30 @@ func (b *Benchsub) StopRecording() { b.recording.Store(false) }
 
 // Received reports the total notifications consumed.
 func (b *Benchsub) Received() int64 { return b.received.Load() }
+
+// StallReaders pauses the readers of the LAST n connections: they stop
+// reading mid-stream while keeping their connections open, turning them
+// into the slow consumers the engine's overload path must isolate. Safe to
+// call while the fleet runs; idempotent for the same n.
+func (b *Benchsub) StallReaders(n int) {
+	for i := len(b.subs) - n; i < len(b.subs); i++ {
+		if i >= 0 {
+			b.subs[i].stalled.Store(true)
+		}
+	}
+}
+
+// ReceivedFast reports the notifications consumed by connections that are
+// NOT stalled — the fast-subscriber delivery count of a slow-consumer run.
+func (b *Benchsub) ReceivedFast() int64 {
+	var total int64
+	for _, sc := range b.subs {
+		if !sc.stalled.Load() {
+			total += sc.received.Load()
+		}
+	}
+	return total
+}
 
 // Recovered reports notifications replayed from server caches after
 // reconnections.

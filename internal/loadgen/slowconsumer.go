@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"time"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/metrics"
+)
+
+// SlowConsumerScenario describes one overload-protection run: the base
+// workload, plus K readers that stall mid-stream — they keep their
+// connections open but stop reading, which is exactly the client the
+// engine's egress budgets and pressure tiers exist for.
+type SlowConsumerScenario struct {
+	// Scenario is the base workload (subscribers, topics, rates, windows).
+	Scenario Scenario
+	// StallReaders is K: how many subscriber connections (the last K) stop
+	// reading when the measurement window opens.
+	StallReaders int
+	// StallSettle is how long after stalling to wait before measuring, so
+	// the stalled transports are saturated when the window opens.
+	// Default 200ms.
+	StallSettle time.Duration
+	// SampleEvery is the engine-gauge sampling cadence during the window
+	// (the maxima below come from these samples). Default 20ms.
+	SampleEvery time.Duration
+}
+
+// SlowConsumerResult extends Result with the fast/stalled split and the
+// pressure maxima observed during the measurement window.
+type SlowConsumerResult struct {
+	Result
+	// FastReceived / FastMsgsPerSec cover only the non-stalled
+	// subscribers during the measurement window — the isolation metric:
+	// how much throughput the fast fleet kept while K readers stalled.
+	FastReceived   int64
+	FastMsgsPerSec float64
+	// MaxEgressQueueBytes / MaxSlowConsumerBytes / MaxSlowConsumers are the
+	// sampled maxima of the engine's staged-egress gauges over the window.
+	// MaxSlowConsumerBytes is the bound the budget enforces: it must stay
+	// under EgressBudgetBytes × K (plus one in-flight write per client).
+	MaxEgressQueueBytes  int64
+	MaxSlowConsumerBytes int64
+	MaxSlowConsumers     int64
+}
+
+// RunSlowConsumerScenario executes one slow-consumer run against an engine:
+// attach subscribers, start the publisher, warm up with everyone reading,
+// stall the last K readers, then measure fast-subscriber delivery and the
+// engine's pressure gauges.
+func RunSlowConsumerScenario(e *core.Engine, cfg SlowConsumerScenario) (SlowConsumerResult, error) {
+	var res SlowConsumerResult
+	sc := cfg.Scenario.withDefaults()
+	if cfg.StallSettle <= 0 {
+		cfg.StallSettle = 200 * time.Millisecond
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 20 * time.Millisecond
+	}
+
+	hist := &metrics.Histogram{}
+	attach := SingleEngineAttach(e, sc.PipeBuffer)
+	bs, err := StartBenchsub(SubConfig{
+		Connections: sc.Subscribers,
+		Topics:      sc.TopicNames(),
+		Attach:      attach,
+		Histogram:   hist,
+		Seed:        sc.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer bs.Close()
+	bp, err := StartBenchpub(PubConfig{
+		Topics:      sc.PublishTopicNames(),
+		Interval:    sc.PublishInterval,
+		PayloadSize: sc.PayloadSize,
+		Attach:      attach,
+		Seed:        sc.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer bp.Close()
+
+	time.Sleep(sc.Warmup)
+	if cfg.StallReaders > 0 {
+		bs.StallReaders(cfg.StallReaders)
+		time.Sleep(cfg.StallSettle)
+	}
+	e.ResetMeters()
+	bs.StartRecording()
+	fastBefore := bs.ReceivedFast()
+
+	deadline := time.Now().Add(sc.Measure)
+	ticker := time.NewTicker(cfg.SampleEvery)
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		st := e.Stats()
+		if st.EgressQueueBytes > res.MaxEgressQueueBytes {
+			res.MaxEgressQueueBytes = st.EgressQueueBytes
+		}
+		if st.SlowConsumerBytes > res.MaxSlowConsumerBytes {
+			res.MaxSlowConsumerBytes = st.SlowConsumerBytes
+		}
+		if st.SlowConsumers > res.MaxSlowConsumers {
+			res.MaxSlowConsumers = st.SlowConsumers
+		}
+	}
+	ticker.Stop()
+	bs.StopRecording()
+
+	st := e.Stats()
+	res.FastReceived = bs.ReceivedFast() - fastBefore
+	res.FastMsgsPerSec = float64(res.FastReceived) / sc.Measure.Seconds()
+	res.Result = Result{
+		Subscribers: sc.Subscribers,
+		Topics:      sc.Topics,
+		Latency:     hist.Snapshot(),
+		CPU:         st.CPUUtilized,
+		Gbps:        st.Gbps,
+		MsgsPerSec:  res.FastMsgsPerSec,
+		Received:    bs.Received(),
+		Gaps:        bs.Gaps(),
+
+		DeliverRouted:       st.DeliverRouted,
+		DeliverSkipped:      st.DeliverSkipped,
+		FanoutEvents:        st.FanoutEvents,
+		IOFlushes:           st.IOFlushes,
+		IOFlushBytes:        st.IOFlushBytes,
+		CacheTopics:         st.CacheTopics,
+		CacheEntries:        st.CacheEntries,
+		CacheBytes:          st.CacheBytes,
+		EgressQueueBytes:    st.EgressQueueBytes,
+		SlowConsumers:       st.SlowConsumers,
+		PressureDrops:       st.PressureDrops,
+		PressureDisconnects: st.PressureDisconnects,
+	}
+	return res, nil
+}

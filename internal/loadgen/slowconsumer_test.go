@@ -1,0 +1,54 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"migratorydata/internal/core"
+)
+
+// TestSlowConsumerScenarioIsolates smoke-tests the harness: with K stalled
+// readers the fast fleet keeps receiving, the stalled clients surface in
+// the gauges, and their staged bytes respect the configured budget.
+func TestSlowConsumerScenarioIsolates(t *testing.T) {
+	const budget = 8 << 10
+	e := core.New(core.Config{
+		ServerID: "sc-test", IoThreads: 2, Workers: 2, TopicGroups: 16,
+		EgressBudgetBytes: budget,
+		Classify:          func(string) core.DeliveryClass { return core.ClassConflatable },
+	})
+	defer e.Close()
+
+	res, err := RunSlowConsumerScenario(e, SlowConsumerScenario{
+		Scenario: Scenario{
+			Subscribers:     40,
+			Topics:          8,
+			PayloadSize:     512,
+			PublishInterval: 10 * time.Millisecond,
+			Warmup:          400 * time.Millisecond,
+			Measure:         800 * time.Millisecond,
+			TopicPrefix:     "sc",
+			Seed:            3,
+		},
+		StallReaders: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gaps != 0 {
+		t.Fatalf("fast subscribers saw %d gaps", res.Gaps)
+	}
+	if res.FastReceived == 0 {
+		t.Fatal("fast subscribers received nothing while peers stalled")
+	}
+	if res.MaxSlowConsumers == 0 {
+		t.Fatal("stalled readers never surfaced in the slow_consumers gauge")
+	}
+	if limit := int64(4 * (budget + 4096)); res.MaxSlowConsumerBytes > limit {
+		t.Fatalf("stalled clients pinned %d bytes, budget bound is %d",
+			res.MaxSlowConsumerBytes, limit)
+	}
+	if res.PressureDisconnects != 0 {
+		t.Fatalf("conflatable workload must not disconnect, got %d", res.PressureDisconnects)
+	}
+}

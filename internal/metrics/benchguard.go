@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// BenchThresholds parametrizes the benchmark-trajectory regression gate
+// (cmd/benchguard). Zero values select the defaults.
+type BenchThresholds struct {
+	// MinMsgsRatio is the lowest acceptable fresh/baseline msgs_per_sec
+	// ratio; below it the row is a throughput regression. Default 0.75
+	// (a >25% slowdown fails).
+	MinMsgsRatio float64
+	// AllocSlack is the allowed allocs_per_op increase over the baseline
+	// before the row is an allocation regression. Default 0.25 — any real
+	// new allocation on a measured hot path (+1.0 or more) fails, while
+	// cross-machine measurement jitter of a fractional alloc does not.
+	AllocSlack float64
+}
+
+func (t BenchThresholds) withDefaults() BenchThresholds {
+	if t.MinMsgsRatio <= 0 {
+		t.MinMsgsRatio = 0.75
+	}
+	if t.AllocSlack <= 0 {
+		t.AllocSlack = 0.25
+	}
+	return t
+}
+
+// ReadBenchJSON loads a BENCH_*.json artifact.
+func ReadBenchJSON(path string) ([]BenchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// lastByName keeps the final row per benchmark name (a rerun in the same
+// process appends; the last row is the measured one).
+func lastByName(rows []BenchRow) map[string]BenchRow {
+	out := make(map[string]BenchRow, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// GatedExtraPrefix marks Extra metrics the regression gate enforces: a key
+// like "gated_queue_events_per_op" must not increase over its baseline.
+// These carry the deterministic per-op efficiency invariants (queue events,
+// fan-out events) that make meaningful gates for microbenchmark rows whose
+// raw timings are too noisy to compare.
+const GatedExtraPrefix = "gated_"
+
+// CompareBenchRows diffs fresh benchmark rows against their baselines and
+// returns one human-readable violation per regression:
+//
+//   - msgs_per_sec below MinMsgsRatio × baseline (when the baseline
+//     measured throughput);
+//   - allocs_per_op more than AllocSlack above baseline;
+//   - lock_acqs_per_op above baseline (the ingest invariant is exact);
+//   - any "gated_*" Extra metric above baseline (deterministic per-op
+//     efficiency invariants);
+//   - a baseline row with no fresh counterpart (the benchmark silently
+//     stopped emitting — the trajectory would die unnoticed).
+//
+// Fresh rows without a baseline are NOT violations: new benchmarks land
+// first, their baselines are committed by the refresh runbook
+// (docs/BENCHMARKS.md).
+func CompareBenchRows(baseline, fresh []BenchRow, th BenchThresholds) []string {
+	th = th.withDefaults()
+	freshBy := lastByName(fresh)
+	var violations []string
+	for _, base := range lastByName(baseline) {
+		got, ok := freshBy[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from fresh results", base.Name))
+			continue
+		}
+		if base.MsgsPerSec > 0 && got.MsgsPerSec > 0 {
+			if ratio := got.MsgsPerSec / base.MsgsPerSec; ratio < th.MinMsgsRatio {
+				violations = append(violations, fmt.Sprintf(
+					"%s: msgs/s regressed to %.0f from baseline %.0f (ratio %.2f < %.2f)",
+					base.Name, got.MsgsPerSec, base.MsgsPerSec, ratio, th.MinMsgsRatio))
+			}
+		}
+		if got.AllocsPerOp > base.AllocsPerOp+th.AllocSlack {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op grew to %.2f from baseline %.2f",
+				base.Name, got.AllocsPerOp, base.AllocsPerOp))
+		}
+		if got.LockAcqsPerOp > base.LockAcqsPerOp+0.01 {
+			violations = append(violations, fmt.Sprintf(
+				"%s: lock-acquisitions/op grew to %.3f from baseline %.3f",
+				base.Name, got.LockAcqsPerOp, base.LockAcqsPerOp))
+		}
+		for key, baseVal := range base.Extra {
+			if !strings.HasPrefix(key, GatedExtraPrefix) {
+				continue
+			}
+			gotVal, present := got.Extra[key]
+			if !present {
+				violations = append(violations, fmt.Sprintf(
+					"%s: gated metric %s missing from fresh row", base.Name, key))
+				continue
+			}
+			if gotVal > baseVal+0.01 {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s grew to %.3f from baseline %.3f",
+					base.Name, key, gotVal, baseVal))
+			}
+		}
+	}
+	return violations
+}

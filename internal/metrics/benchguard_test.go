@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(name string, msgs, allocs, locks float64) BenchRow {
+	return BenchRow{Name: name, Iterations: 1000, MsgsPerSec: msgs,
+		AllocsPerOp: allocs, LockAcqsPerOp: locks}
+}
+
+func TestCompareBenchRowsPasses(t *testing.T) {
+	base := []BenchRow{row("A", 1000, 1.0, 1.0), row("B", 500, 0, 0)}
+	fresh := []BenchRow{
+		row("A", 800, 1.1, 1.0), // 0.8 ratio, within alloc slack
+		row("B", 490, 0.2, 0),
+		row("C", 99, 99, 99), // new benchmark: no baseline, not a violation
+	}
+	if v := CompareBenchRows(base, fresh, BenchThresholds{}); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCompareBenchRowsFlagsRegressions(t *testing.T) {
+	base := []BenchRow{
+		row("slow", 1000, 1.0, 1.0),
+		row("allocs", 1000, 1.0, 1.0),
+		row("locks", 1000, 1.0, 1.0),
+		row("gone", 1000, 1.0, 1.0),
+	}
+	fresh := []BenchRow{
+		row("slow", 700, 1.0, 1.0),    // ratio 0.7 < 0.75
+		row("allocs", 1000, 2.5, 1.0), // +1.5 allocs/op
+		row("locks", 1000, 1.0, 2.0),  // lock invariant broken
+		// "gone" missing entirely
+	}
+	v := CompareBenchRows(base, fresh, BenchThresholds{})
+	if len(v) != 4 {
+		t.Fatalf("got %d violations, want 4: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{"msgs/s regressed", "allocs/op grew", "lock-acquisitions/op grew", "missing from fresh"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareBenchRowsGatedExtras(t *testing.T) {
+	base := []BenchRow{{Name: "sparse", Extra: map[string]float64{
+		"gated_queue_events_per_op": 1.0,
+		"publishes_per_sec":         1e6, // ungated: informational
+	}}}
+	ok := []BenchRow{{Name: "sparse", Extra: map[string]float64{
+		"gated_queue_events_per_op": 1.0,
+		"publishes_per_sec":         1, // huge swing, but not gated
+	}}}
+	if v := CompareBenchRows(base, ok, BenchThresholds{}); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	grew := []BenchRow{{Name: "sparse", Extra: map[string]float64{
+		"gated_queue_events_per_op": 2.0,
+	}}}
+	v := CompareBenchRows(base, grew, BenchThresholds{})
+	if len(v) != 1 || !strings.Contains(v[0], "gated_queue_events_per_op grew") {
+		t.Fatalf("want gated-extra violation, got %v", v)
+	}
+	missing := []BenchRow{{Name: "sparse"}}
+	v = CompareBenchRows(base, missing, BenchThresholds{})
+	if len(v) != 1 || !strings.Contains(v[0], "missing from fresh row") {
+		t.Fatalf("want missing-gated-metric violation, got %v", v)
+	}
+}
+
+func TestCompareBenchRowsUsesLastRowPerName(t *testing.T) {
+	// Repeated emission in one file: only the final (measured) row counts.
+	base := []BenchRow{row("A", 1000, 1.0, 1.0)}
+	fresh := []BenchRow{row("A", 10, 50, 50), row("A", 950, 1.0, 1.0)}
+	if v := CompareBenchRows(base, fresh, BenchThresholds{}); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	want := row("X", 123, 1, 1)
+	if err := AppendBenchJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "X" || rows[0].MsgsPerSec != 123 {
+		t.Fatalf("round trip got %+v", rows)
+	}
+}

@@ -48,6 +48,21 @@ type EgressCounters struct {
 	FlushBytes   Counter
 }
 
+// PressureCounters tracks the overload-protection policy. Drops counts
+// frames removed by pressure — conflated away (per-topic last-value-wins in
+// a slow consumer's bounded backlog) or evicted oldest-first to honor the
+// client's egress budget ("pressure_drops"). Disconnects counts fenced
+// disconnects of critically slow consumers ("pressure_disconnects"); each
+// disconnected client recovers losslessly via the resume/replay path, so a
+// non-zero value signals clients slower than their configured budget, not
+// message loss. The matching gauges ("egress_queue_bytes",
+// "slow_consumers") are computed from the per-client ledgers at snapshot
+// time — see core.Stats.
+type PressureCounters struct {
+	Drops       Counter
+	Disconnects Counter
+}
+
 // PayloadCounters tracks interest-aware cluster replication. Forwarded
 // counts full-payload replicas sent to peers ("cluster_payloads_forwarded");
 // Suppressed counts replicas downgraded to metadata-only frames because the

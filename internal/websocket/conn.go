@@ -9,6 +9,8 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultMaxMessageSize bounds reassembled message size.
@@ -41,6 +43,23 @@ type Conn struct {
 	hdrBuf   []byte      // unmasked-path scratch: frame header only
 	iovecArr [2][]byte   // unmasked-path scratch storage: header, payload
 	iovec    net.Buffers // view over iovecArr handed to WriteTo
+
+	// Stall-aware writes (engine overload protection): when writeStall > 0,
+	// a frame write blocks at most writeStall; wire bytes that did not fit
+	// are copied into carry and flushed — strictly before any later frame —
+	// by the next write or FlushStalled. carried mirrors len(carry) for
+	// lock-free readers (the engine's workers read it to compute pressure
+	// tiers). carryData records whether any carried bytes belong to data
+	// frames: those are budget-charged and drained by the engine's stalled
+	// retry machinery, whereas control-only carry (pong answers to a
+	// non-reading pinger) is unbudgeted — it is capped (control frames are
+	// dropped rather than growing it past controlCarryCap) and drained
+	// opportunistically by the read loop. All carry state is guarded by
+	// writeMu.
+	writeStall time.Duration
+	carry      []byte
+	carryData  bool
+	carried    atomic.Int64
 
 	maxMessage int
 
@@ -104,6 +123,7 @@ func (c *Conn) NetConn() net.Conn { return c.conn }
 // *CloseError once a close frame is received.
 func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 	for {
+		c.flushControlCarry()
 		h, err := readFrameHeader(c.br)
 		if err != nil {
 			return 0, nil, err
@@ -220,9 +240,25 @@ func (c *Conn) writeFrame(fin bool, op Opcode, payload []byte) error {
 	defer c.writeMu.Unlock()
 	if !masked {
 		c.hdrBuf = appendFrameHeader(c.hdrBuf[:0], fin, op, false, mask, len(payload))
+		if c.writeStall > 0 {
+			// Stall-aware path: never block longer than writeStall; carry
+			// what did not fit. Earlier carried bytes flush first so wire
+			// order is preserved.
+			if len(c.carry) > 0 {
+				if c.dropControlCarry(op) {
+					return nil
+				}
+				c.noteCarry(op)
+				c.carry = append(c.carry, c.hdrBuf...)
+				c.carry = append(c.carry, payload...)
+				c.carried.Store(int64(len(c.carry)))
+				return nil
+			}
+			_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeStall))
+		}
 		if len(payload) == 0 {
-			_, err := c.conn.Write(c.hdrBuf)
-			return err
+			n, err := c.conn.Write(c.hdrBuf)
+			return c.carryRemainder(err, op, c.hdrBuf[n:])
 		}
 		// WriteTo consumes the vector (it advances entries as they drain),
 		// so rebuild the view over the fixed scratch array every write, and
@@ -230,15 +266,143 @@ func (c *Conn) writeFrame(fin bool, op Opcode, payload []byte) error {
 		c.iovecArr[0], c.iovecArr[1] = c.hdrBuf, payload
 		c.iovec = net.Buffers(c.iovecArr[:])
 		_, err := c.iovec.WriteTo(c.conn)
+		// On a partial write the consumed vector holds exactly the
+		// unwritten remainder.
+		err = c.carryRemainder(err, op, c.iovec...)
 		c.iovecArr[0], c.iovecArr[1] = nil, nil
+		c.iovec = nil
 		return err
 	}
 	c.writeBuf = appendFrameHeader(c.writeBuf[:0], fin, op, masked, mask, len(payload))
 	start := len(c.writeBuf)
 	c.writeBuf = append(c.writeBuf, payload...)
 	applyMask(c.writeBuf[start:], mask, 0)
-	_, err := c.conn.Write(c.writeBuf)
-	return err
+	if c.writeStall > 0 {
+		if len(c.carry) > 0 {
+			if c.dropControlCarry(op) {
+				return nil
+			}
+			c.noteCarry(op)
+			c.carry = append(c.carry, c.writeBuf...)
+			c.carried.Store(int64(len(c.carry)))
+			return nil
+		}
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeStall))
+	}
+	n, err := c.conn.Write(c.writeBuf)
+	return c.carryRemainder(err, op, c.writeBuf[n:])
+}
+
+// controlCarryCap bounds how much control-frame traffic (pongs, close) may
+// accumulate in the carry buffer. Control responses are generated by the
+// read loop and are NOT charged to the engine's egress budget, so without
+// a cap a client flooding pings while never reading would grow the carry
+// at its upload bandwidth; past the cap, control frames are dropped
+// instead (a peer that is not reading has no use for pongs anyway).
+const controlCarryCap = 4 << 10
+
+// dropControlCarry reports whether a control frame should be discarded
+// because the carry already holds too much. Caller holds writeMu.
+func (c *Conn) dropControlCarry(op Opcode) bool {
+	return op.IsControl() && len(c.carry) > controlCarryCap
+}
+
+// noteCarry records the class of bytes entering the carry. Caller holds
+// writeMu.
+func (c *Conn) noteCarry(op Opcode) {
+	if !op.IsControl() {
+		c.carryData = true
+	}
+}
+
+// carryRemainder absorbs a write-deadline expiry in stall-aware mode: the
+// unwritten wire bytes are copied into the carry buffer and the write
+// reports success (the frame is "consumed" — it will reach the wire, in
+// order, via FlushStalled). Other errors pass through. Caller holds writeMu.
+func (c *Conn) carryRemainder(err error, op Opcode, rest ...[]byte) error {
+	if err == nil || c.writeStall <= 0 || !isTimeout(err) {
+		return err
+	}
+	c.noteCarry(op)
+	for _, b := range rest {
+		c.carry = append(c.carry, b...)
+	}
+	c.carried.Store(int64(len(c.carry)))
+	return nil
+}
+
+// isTimeout reports whether err is a write-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// SetWriteStall enables stall-aware writes: one frame write blocks at most
+// d; bytes that do not fit are carried internally (wire-exact, order
+// preserved) and flushed by later writes or FlushStalled. d <= 0 restores
+// plain blocking writes. The engine enables this on server connections so a
+// client that stops reading cannot stall its IoThread.
+func (c *Conn) SetWriteStall(d time.Duration) {
+	c.writeMu.Lock()
+	c.writeStall = d
+	c.writeMu.Unlock()
+}
+
+// StalledBytes reports the carried (accepted but unwritten) wire bytes.
+// Safe from any goroutine.
+func (c *Conn) StalledBytes() int64 { return c.carried.Load() }
+
+// FlushStalled attempts to drain the carry buffer, blocking at most probe,
+// and returns the bytes actually written (exact under writeMu, even with
+// the read loop concurrently appending pongs). Non-timeout write failures
+// return the error; a still-full peer is not an error (StalledBytes stays
+// non-zero and the caller retries later).
+func (c *Conn) FlushStalled(probe time.Duration) (int64, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if len(c.carry) == 0 {
+		return 0, nil
+	}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(probe))
+	n, err := c.conn.Write(c.carry)
+	if n > 0 {
+		rest := copy(c.carry, c.carry[n:])
+		c.carry = c.carry[:rest]
+		c.carried.Store(int64(rest))
+		if rest == 0 {
+			c.carryData = false
+		}
+	}
+	if err != nil && !isTimeout(err) {
+		return int64(n), err
+	}
+	return int64(n), nil
+}
+
+// flushControlCarry opportunistically drains carry that holds ONLY control
+// frames. The read loop calls it per inbound frame: control carry is not
+// budget-charged and the engine's stalled-retry machinery does not know
+// about it (it only tracks clients with engine egress traffic), so the
+// reader is its drain driver — a withheld pong goes out as soon as the
+// peer talks to us again and the transport has room. Carry holding data
+// frames is left strictly to the engine's retries, whose ledger
+// reconciliation must observe every drained byte.
+func (c *Conn) flushControlCarry() {
+	if c.writeStall <= 0 || c.carried.Load() == 0 {
+		return
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.carryData || len(c.carry) == 0 {
+		return
+	}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeStall))
+	n, _ := c.conn.Write(c.carry)
+	if n > 0 {
+		rest := copy(c.carry, c.carry[n:])
+		c.carry = c.carry[:rest]
+		c.carried.Store(int64(rest))
+	}
 }
 
 // writeClose sends a close frame once; later calls are no-ops.

@@ -1,0 +1,159 @@
+package websocket
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"migratorydata/internal/transport"
+)
+
+// stallPair returns a connected pair over a deliberately tiny pipe, so the
+// server's writes stall as soon as the client stops reading.
+func stallPair(t *testing.T, pipeBuffer int) (client, server *Conn) {
+	t.Helper()
+	a, b := transport.NewPipeSize(
+		transport.Addr{Net: "inproc", Address: "ws-client"},
+		transport.Addr{Net: "inproc", Address: "ws-server"},
+		pipeBuffer,
+	)
+	var wg sync.WaitGroup
+	var serr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, serr = ServerHandshake(b)
+	}()
+	c, cerr := ClientHandshake(a, "test", "/ws")
+	wg.Wait()
+	if cerr != nil || serr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cerr, serr)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		server.Close()
+	})
+	return c, server
+}
+
+// TestControlCarryBoundedAndReaderDrained proves the two control-frame
+// properties of stall-aware mode: (1) pong responses to a ping-flooding,
+// never-reading peer cannot grow the carry past controlCarryCap — excess
+// control frames are dropped, since control traffic is not charged to any
+// egress budget; (2) control-only carry needs no engine traffic to drain —
+// the read loop flushes it as soon as the peer talks again and the
+// transport has room.
+func TestControlCarryBoundedAndReaderDrained(t *testing.T) {
+	client, server := stallPair(t, 256)
+	server.SetWriteStall(time.Millisecond)
+
+	// Server read loop: answers every ping with a pong (stall-aware, so it
+	// never blocks on the full peer).
+	readDone := make(chan error, 1)
+	go func() {
+		_, _, err := server.ReadMessage()
+		readDone <- err
+	}()
+
+	// Flood pings without reading: the server's pongs fill the tiny pipe,
+	// then the carry — which must stay bounded.
+	for i := 0; i < 500; i++ {
+		if err := client.WriteControl(OpPing, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil := time.Now().Add(2 * time.Second)
+	for server.StalledBytes() == 0 && time.Now().Before(waitUntil) {
+		time.Sleep(time.Millisecond)
+	}
+	// Generous slack over the cap: one in-flight frame may straddle it.
+	if sb := server.StalledBytes(); sb > controlCarryCap+256 {
+		t.Fatalf("control carry grew to %d bytes (cap %d): ping flood pins unbounded memory", sb, controlCarryCap)
+	}
+
+	// The peer starts reading (drain pongs) and keeps pinging: the server
+	// read loop must flush the withheld pongs without any engine traffic.
+	go func() {
+		for {
+			if _, _, err := client.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+	pinger := time.NewTicker(5 * time.Millisecond)
+	defer pinger.Stop()
+	deadline := time.After(5 * time.Second)
+	for server.StalledBytes() > 0 {
+		select {
+		case <-pinger.C:
+			_ = client.WriteControl(OpPing, nil)
+		case <-deadline:
+			t.Fatalf("control carry never drained (%d bytes left)", server.StalledBytes())
+		}
+	}
+}
+
+// TestWriteStallCarriesAndFlushes proves the stall-aware write contract on
+// the WebSocket layer: a write against a full peer returns within the
+// stall bound with the remainder carried wire-exact, later frames queue
+// behind it in order, and once the reader drains, retried flushes deliver
+// every message intact.
+func TestWriteStallCarriesAndFlushes(t *testing.T) {
+	client, server := stallPair(t, 256)
+	server.SetWriteStall(time.Millisecond)
+
+	// Two messages, both far larger than the transport buffer: the first
+	// write must carry a remainder instead of blocking, the second must
+	// append behind it.
+	msgA := bytes.Repeat([]byte("a"), 1024)
+	msgB := bytes.Repeat([]byte("b"), 512)
+	start := time.Now()
+	if err := server.WriteMessage(OpBinary, msgA); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.WriteMessage(OpBinary, msgB); err != nil {
+		t.Fatal(err)
+	}
+	if blocked := time.Since(start); blocked > time.Second {
+		t.Fatalf("stall-aware writes blocked %v", blocked)
+	}
+	if server.StalledBytes() == 0 {
+		t.Fatal("nothing carried despite a full peer")
+	}
+
+	// Drain on the reader side while the writer retries flushes — the
+	// engine's stalled-retry loop in miniature.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var flushed int64
+		for server.StalledBytes() > 0 {
+			n, err := server.FlushStalled(time.Millisecond)
+			if err != nil {
+				t.Errorf("FlushStalled: %v", err)
+				return
+			}
+			flushed += n
+			time.Sleep(time.Millisecond)
+		}
+		if flushed == 0 {
+			t.Error("FlushStalled reported zero bytes written across the drain")
+		}
+	}()
+	for _, want := range [][]byte{msgA, msgB} {
+		op, got, err := client.ReadMessage()
+		if err != nil || op != OpBinary || !bytes.Equal(got, want) {
+			t.Fatalf("read: op=%v err=%v len=%d want len=%d (first byte %q)",
+				op, err, len(got), len(want), want[0])
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("carry never drained")
+	}
+	if server.StalledBytes() != 0 {
+		t.Fatalf("StalledBytes = %d after drain", server.StalledBytes())
+	}
+}

@@ -46,6 +46,14 @@ type Config struct {
 	BatchMaxDelay time.Duration
 	// ConflationInterval enables per-topic conflation (§4).
 	ConflationInterval time.Duration
+	// EgressBudgetBytes bounds each client's staged-but-unwritten egress —
+	// the slow-consumer overload protection (docs/ARCHITECTURE.md, "The
+	// overload path"). 0 selects the engine default (1 MiB); negative
+	// disables protection.
+	EgressBudgetBytes int
+	// Classify assigns topics a delivery class for the overload policy
+	// (nil: every topic reliable — never dropped under pressure).
+	Classify core.ClassifyFunc
 	// Pause optionally injects stop-the-world pauses (GC ablation).
 	Pause *metrics.PauseInjector
 	// Logger receives debug events.
@@ -75,6 +83,8 @@ func (cfg Config) engineConfig() core.Config {
 		BatchMaxBytes:      cfg.BatchMaxBytes,
 		BatchMaxDelay:      cfg.BatchMaxDelay,
 		ConflationInterval: cfg.ConflationInterval,
+		EgressBudgetBytes:  cfg.EgressBudgetBytes,
+		Classify:           cfg.Classify,
 		Pause:              cfg.Pause,
 		Logger:             cfg.Logger,
 	}
