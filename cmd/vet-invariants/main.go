@@ -1,0 +1,70 @@
+// Command vet-invariants is the repo's one-stop vet: it runs the standard
+// `go vet` passes and then the invariant analyzers from internal/analysis
+// (poolcheck, lockscope, hotpath) over the same packages. CI's lint job and
+// local development both use
+//
+//	go run ./cmd/vet-invariants ./...
+//
+// The exit status is non-zero if either the standard passes or the
+// invariant analyzers report anything. Findings are suppressed only by an
+// inline `//vet:ignore <analyzer> -- <reason>` directive; a directive
+// without a reason is itself a finding. See docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"migratorydata/internal/analysis"
+)
+
+func main() {
+	stdVet := flag.Bool("vet", true, "also run the standard go vet passes")
+	list := flag.Bool("list", false, "list the invariant analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vet-invariants [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs go vet plus the repo's invariant analyzers over the packages\n(default ./...).\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *stdVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(analyzers, pkg) {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

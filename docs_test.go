@@ -62,7 +62,7 @@ func TestDocsExist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/PROTOCOL.md", "docs/BENCHMARKS.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/PROTOCOL.md", "docs/BENCHMARKS.md", "docs/STATIC_ANALYSIS.md"} {
 		st, err := os.Stat(doc)
 		if err != nil {
 			t.Errorf("missing %s: %v", doc, err)

@@ -1,0 +1,304 @@
+// Package analysis implements the repo's invariant-enforcing static
+// analyzers: compile-time checks for the structural contracts the engine's
+// performance rests on (docs/STATIC_ANALYSIS.md). PRs 1-5 made the hot paths
+// fast by imposing strict conventions — pooled message/buffer lifecycles,
+// exactly one group-lock acquisition per publish with all encoding outside
+// every lock, ≤1-alloc hot paths — but a convention checked only by the
+// benchmarks protects only the paths the benchmarks reach. The analyzers
+// here mechanize those contracts over the whole tree:
+//
+//   - poolcheck: pooled-object lifecycle — every protocol.AcquireMessage /
+//     protocol.DecodeBodyPooled / bufpool.Get must reach its release on all
+//     paths (including error returns), no use after release, and no pooled
+//     payload may escape into a long-lived structure without
+//     protocol.UnpoolPayload.
+//   - lockscope: while a mutex annotated //vet:lockscope is held, calls
+//     into its deny-list (protocol encoding, queue pushes, transport
+//     writes, time.Now, blocking operations) are forbidden.
+//   - hotpath: functions annotated //vet:hotpath must not allocate via
+//     fmt, string concatenation, map literals/makes, or capturing closures.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// shapes (Analyzer, Pass, Diagnostic) but is built on the standard library
+// only — this module carries no external dependencies, so the analyzers
+// load and type-check packages themselves (see Load) instead of relying on
+// x/tools drivers. Run them through cmd/vet-invariants.
+//
+// Suppression requires an inline directive with a mandatory reason:
+//
+//	//vet:ignore <analyzer>[,<analyzer>] -- <reason>
+//
+// on the flagged line or the line directly above it. A directive without a
+// reason is itself a diagnostic (the suppression policy is part of the
+// enforced contract).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //vet:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run performs the check over one package, reporting findings through
+	// pass.Report.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{PoolCheck, LockScope, HotPath}
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// directiveName is the diagnostic source used for malformed suppression
+// directives; it is reserved (no analyzer may use it, and //vet:ignore
+// cannot suppress it).
+const directiveName = "vet-directive"
+
+// ignoreDirective is one parsed //vet:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers map[string]bool // names, or {"*": true}
+	reason    string
+	pos       token.Pos
+}
+
+var ignoreRE = regexp.MustCompile(`^//vet:ignore\s+(\S+)(?:\s+--\s*(.*))?$`)
+
+// parseIgnores extracts every //vet:ignore directive of file, emitting
+// malformed-directive diagnostics (missing reason, unknown analyzer name)
+// through report.
+func parseIgnores(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Diagnostic)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if !strings.HasPrefix(text, "//vet:ignore") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			bad := func(format string, args ...any) {
+				report(Diagnostic{
+					Analyzer: directiveName,
+					Pos:      pos,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			m := ignoreRE.FindStringSubmatch(text)
+			if m == nil {
+				bad("malformed //vet:ignore directive: want //vet:ignore <analyzer> -- <reason>")
+				continue
+			}
+			if strings.TrimSpace(m[2]) == "" {
+				bad("//vet:ignore requires a reason: //vet:ignore %s -- <reason>", m[1])
+				continue
+			}
+			names := map[string]bool{}
+			ok := true
+			for _, n := range strings.Split(m[1], ",") {
+				if n != "*" && !known[n] {
+					bad("//vet:ignore names unknown analyzer %q (known: %s)", n, knownNames(known))
+					ok = false
+					break
+				}
+				names[n] = true
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, ignoreDirective{
+				line:      pos.Line,
+				analyzers: names,
+				reason:    strings.TrimSpace(m[2]),
+				pos:       c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// matches reports whether the directive suppresses analyzer a for a
+// diagnostic on line.
+func (d ignoreDirective) matches(a string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	return d.analyzers["*"] || d.analyzers[a]
+}
+
+// RunAnalyzers runs every analyzer over pkg and returns the surviving
+// diagnostics: findings suppressed by a well-formed //vet:ignore directive
+// are dropped, malformed directives are themselves diagnostics, sorted by
+// position.
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	var ignores []ignoreDirective
+	for _, f := range pkg.Files {
+		ignores = append(ignores, parseIgnores(pkg.Fset, f, known, func(d Diagnostic) {
+			out = append(out, d)
+		})...)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		a.Run(pass)
+	diags:
+		for _, d := range pass.diags {
+			for _, ig := range ignores {
+				if ig.matches(a.Name, d.Pos.Line) && samePkgFile(pkg, ig, d) {
+					continue diags
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// samePkgFile reports whether the directive and the diagnostic live in the
+// same file (line matching alone would cross file boundaries).
+func samePkgFile(pkg *Package, ig ignoreDirective, d Diagnostic) bool {
+	return pkg.Fset.Position(ig.pos).Filename == d.Pos.Filename
+}
+
+// ---- shared annotation and type-matching helpers ----
+
+// hasHotpathAnnotation reports whether fn's doc comment carries
+// //vet:hotpath.
+func hasHotpathAnnotation(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimRight(c.Text, " \t") == "//vet:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+var lockscopeRE = regexp.MustCompile(`^//vet:lockscope\s+deny=([a-z,]+)$`)
+
+// parseLockscope extracts the deny-list from a field comment, if any.
+func parseLockscope(cg *ast.CommentGroup) (map[string]bool, bool) {
+	if cg == nil {
+		return nil, false
+	}
+	for _, c := range cg.List {
+		m := lockscopeRE.FindStringSubmatch(strings.TrimRight(c.Text, " \t"))
+		if m == nil {
+			continue
+		}
+		deny := map[string]bool{}
+		for _, d := range strings.Split(m[1], ",") {
+			deny[d] = true
+		}
+		return deny, true
+	}
+	return nil, false
+}
+
+// calleeOf resolves the called function or method of call, or nil for
+// builtins, conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// pkgPathOf returns the package path of f ("" for builtins).
+func pkgPathOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// pathHasSuffix reports whether pkg path is exactly suffix or ends in
+// "/"+suffix — so "migratorydata/internal/protocol" and a test fixture's
+// "migratorydata/internal/protocol" stub both match "internal/protocol".
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isFuncIn reports whether f is a function or method named name in a
+// package whose path ends in pkgSuffix.
+func isFuncIn(f *types.Func, pkgSuffix, name string) bool {
+	return f != nil && f.Name() == name && pathHasSuffix(pkgPathOf(f), pkgSuffix)
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPoolCheckFixtures(t *testing.T) { runFixtureTest(t, "poolcheck") }
+
+func TestLockScopeFixtures(t *testing.T) { runFixtureTest(t, "lockscope") }
+
+func TestHotPathFixtures(t *testing.T) { runFixtureTest(t, "hotpath") }
+
+// TestIgnoreDirectivePolicy checks the suppression contract: a directive
+// without a reason (or naming an unknown analyzer) is itself a diagnostic
+// and suppresses nothing, so the underlying finding still surfaces.
+func TestIgnoreDirectivePolicy(t *testing.T) {
+	pkg := fixturePkg(t, "badignore")
+	diags := RunAnalyzers(Analyzers(), pkg)
+
+	expect := []struct {
+		analyzer string
+		substr   string
+	}{
+		{directiveName, "requires a reason"},
+		{directiveName, "unknown analyzer"},
+		{"hotpath", "fmt.Sprintf"}, // finding under the reasonless directive survives
+		{"hotpath", "fmt.Sprintf"}, // finding under the unknown-analyzer directive survives
+	}
+	var unmatched []Diagnostic
+	for _, d := range diags {
+		matched := false
+		for i, e := range expect {
+			if e.analyzer == d.Analyzer && strings.Contains(d.Message, e.substr) {
+				expect = append(expect[:i], expect[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unmatched = append(unmatched, d)
+		}
+	}
+	for _, e := range expect {
+		t.Errorf("missing diagnostic: analyzer %q with message containing %q", e.analyzer, e.substr)
+	}
+	for _, d := range unmatched {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestRepoTreeClean runs the suite over the real module — the same check
+// the CI lint job performs: the tree must have no findings that are not
+// fixed or suppressed with a reasoned //vet:ignore.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "fixture.test") {
+			continue
+		}
+		for _, d := range RunAnalyzers(Analyzers(), pkg) {
+			t.Errorf("%s", d)
+		}
+	}
+}

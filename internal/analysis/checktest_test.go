@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture corpus is a self-contained module under testdata/src (the go
+// tool ignores testdata directories, so its deliberate violations never
+// enter the real build). It is loaded once through the production Load path
+// — the same go list + export-data pipeline cmd/vet-invariants uses — so
+// fixtures exercise exactly what CI runs. Stub packages inside the module
+// shadow internal/protocol, internal/queue, internal/bufpool, and
+// internal/core by path suffix, which is how the analyzers match callees.
+var (
+	fixturesOnce sync.Once
+	fixturePkgs  map[string]*Package
+	fixtureErr   error
+)
+
+func fixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	fixturesOnce.Do(func() {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		pkgs, err := Load(dir, "./...")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixturePkgs = map[string]*Package{}
+		for _, p := range pkgs {
+			fixturePkgs[p.Path] = p
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
+	}
+	p := fixturePkgs["fixture.test/"+name]
+	if p == nil {
+		t.Fatalf("fixture package %q not loaded", name)
+	}
+	return p
+}
+
+// A wantDiag is one expectation parsed from a `// want` comment: a regexp
+// that must match a diagnostic reported on the same line.
+type wantDiag struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantPatternRE = regexp.MustCompile("`([^`]+)`")
+
+func collectWants(t *testing.T, pkg *Package) []*wantDiag {
+	t.Helper()
+	var wants []*wantDiag
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := wantPatternRE.FindAllStringSubmatch(c.Text[idx:], -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range pats {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &wantDiag{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixtureTest runs the full analyzer suite over one fixture package and
+// checks the diagnostics against its want comments, both ways: every
+// diagnostic needs a matching want, every want needs a diagnostic.
+func runFixtureTest(t *testing.T, name string) {
+	t.Helper()
+	pkg := fixturePkg(t, name)
+	diags := RunAnalyzers(Analyzers(), pkg)
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}

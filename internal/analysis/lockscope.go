@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockScope enforces the encode-outside-locks rule (docs/ARCHITECTURE.md,
+// "The sequencing path"): the publish pipeline stays at exactly one
+// group-lock acquisition per message only because nothing expensive ever
+// happens under a lock. Mutex fields annotated with
+//
+//	//vet:lockscope deny=<cat>[,<cat>...]
+//
+// declare which call categories are forbidden while they are held:
+//
+//	encode  protocol.Encode / protocol.AppendEncode
+//	push    internal/queue Push* (queue handoffs)
+//	write   transport writes (Write*, Send, SendFrame on conn/ws/core, net, io)
+//	time    time.Now / time.Since / time.Until (syscall on some platforms)
+//	block   anything that can park: time.Sleep, sync Wait, queue PopWait,
+//	        channel operations, select
+//
+// The analyzer tracks Lock/RLock...Unlock/RUnlock pairs on annotated fields
+// through straight-line code and branches within each function. A deferred
+// unlock keeps the mutex held to the end of the function. Function literals
+// and deferred calls are not scanned (they run outside the locked region or
+// under their own discipline).
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "forbid deny-listed calls (encode, push, write, time, block) while an annotated mutex is held",
+	Run:  runLockScope,
+}
+
+var lockCategories = map[string]bool{
+	"encode": true, "push": true, "write": true, "time": true, "block": true,
+}
+
+// lockAnno is one annotated mutex field.
+type lockAnno struct {
+	label string // "group.mu" — owning type plus field name
+	deny  map[string]bool
+}
+
+func runLockScope(pass *Pass) {
+	lc := &lockChecker{pass: pass, annos: map[*types.Var]*lockAnno{}}
+	lc.collect()
+	if len(lc.annos) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				lc.stmts(fn.Body.List, heldSet{})
+			}
+		}
+	}
+}
+
+type lockChecker struct {
+	pass  *Pass
+	annos map[*types.Var]*lockAnno
+}
+
+// heldSet maps annotated mutex fields to the position of their Lock call.
+type heldSet map[*types.Var]token.Pos
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for v, p := range h {
+		out[v] = p
+	}
+	return out
+}
+
+// merge unions a fall-through branch: held on any incoming path counts as
+// held (conservative for deny checking).
+func (h heldSet) merge(branch heldSet) {
+	for v, p := range branch {
+		if _, ok := h[v]; !ok {
+			h[v] = p
+		}
+	}
+}
+
+// collect finds //vet:lockscope annotations on struct fields.
+func (lc *lockChecker) collect() {
+	for _, file := range lc.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				deny, ok := parseLockscope(field.Doc)
+				if !ok {
+					deny, ok = parseLockscope(field.Comment)
+				}
+				if !ok {
+					continue
+				}
+				for cat := range deny {
+					if !lockCategories[cat] {
+						lc.pass.Reportf(field.Pos(), "//vet:lockscope names unknown deny category %q (known: block, encode, push, time, write)", cat)
+					}
+				}
+				for _, name := range field.Names {
+					if v, ok := lc.pass.TypesInfo.Defs[name].(*types.Var); ok {
+						lc.annos[v] = &lockAnno{
+							label: ts.Name.Name + "." + name.Name,
+							deny:  deny,
+						}
+					}
+				}
+			}
+			return false
+		})
+	}
+}
+
+// stmts walks a statement list; reports whether control terminates.
+func (lc *lockChecker) stmts(list []ast.Stmt, held heldSet) bool {
+	for _, s := range list {
+		if lc.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, held heldSet) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lc.expr(s.X, held)
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lc.expr(e, held)
+		}
+
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held for the rest of the
+		// function; any other deferred call runs outside the locked region.
+		if v, op := lc.lockOp(s.Call); v != nil && (op == "Unlock" || op == "RUnlock") {
+			// No state change: held until function end is exactly "held".
+			_ = v
+		}
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.expr(e, held)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		return true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		lc.expr(s.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := lc.stmts(s.Body.List, thenHeld)
+		var elseHeld heldSet
+		elseTerm := false
+		if s.Else != nil {
+			elseHeld = held.clone()
+			elseTerm = lc.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				held.merge(thenHeld)
+			}
+			return false
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			lc.replace(held, elseHeld)
+		case elseTerm:
+			lc.replace(held, thenHeld)
+		default:
+			lc.replace(held, thenHeld)
+			held.merge(elseHeld)
+		}
+		return false
+
+	case *ast.BlockStmt:
+		return lc.stmts(s.List, held)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.expr(s.Cond, held)
+		}
+		body := held.clone()
+		lc.stmts(s.Body.List, body)
+		return false
+
+	case *ast.RangeStmt:
+		lc.expr(s.X, held)
+		body := held.clone()
+		lc.stmts(s.Body.List, body)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lc.expr(s.Tag, held)
+		}
+		return lc.caseClauses(s.Body, held)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, held)
+		}
+		return lc.caseClauses(s.Body, held)
+
+	case *ast.SelectStmt:
+		lc.blockOp(s.Pos(), "select", held)
+		return lc.caseClauses(s.Body, held)
+
+	case *ast.SendStmt:
+		lc.blockOp(s.Pos(), "channel send", held)
+		lc.expr(s.Chan, held)
+		lc.expr(s.Value, held)
+
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently, outside this lock scope.
+
+	case *ast.IncDecStmt:
+		lc.expr(s.X, held)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						lc.expr(val, held)
+					}
+				}
+			}
+		}
+
+	case *ast.LabeledStmt:
+		return lc.stmt(s.Stmt, held)
+	}
+	return false
+}
+
+func (lc *lockChecker) replace(held, from heldSet) {
+	for v := range held {
+		delete(held, v)
+	}
+	for v, p := range from {
+		held[v] = p
+	}
+}
+
+func (lc *lockChecker) caseClauses(body *ast.BlockStmt, held heldSet) bool {
+	merged := false
+	var acc heldSet
+	exhaustive := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				lc.expr(e, held)
+			}
+			if c.List == nil {
+				exhaustive = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				exhaustive = true
+			}
+			stmts = c.Body
+		}
+		cs := held.clone()
+		if !lc.stmts(stmts, cs) {
+			if acc == nil {
+				acc = cs
+			} else {
+				acc.merge(cs)
+			}
+			merged = true
+		}
+	}
+	if merged {
+		if exhaustive {
+			lc.replace(held, acc)
+		} else {
+			held.merge(acc)
+		}
+		return false
+	}
+	return exhaustive
+}
+
+// expr scans one expression for lock operations, channel receives, and
+// deny-listed calls.
+func (lc *lockChecker) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs under its own lock discipline
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lc.blockOp(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if v, op := lc.lockOp(n); v != nil {
+				switch op {
+				case "Lock", "RLock":
+					held[v] = n.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, v)
+				}
+				return false
+			}
+			lc.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// lockOp matches x.<field>.Lock()-style calls on annotated mutex fields,
+// returning the field and the method name.
+func (lc *lockChecker) lockOp(call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	v, ok := lc.pass.TypesInfo.Uses[inner.Sel].(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if _, annotated := lc.annos[v]; !annotated {
+		return nil, ""
+	}
+	return v, op
+}
+
+// checkCall reports the call if its category is denied by any held mutex.
+func (lc *lockChecker) checkCall(call *ast.CallExpr, held heldSet) {
+	f := calleeOf(lc.pass.TypesInfo, call)
+	cat := callCategory(f)
+	if cat == "" {
+		return
+	}
+	for v, lockPos := range held {
+		anno := lc.annos[v]
+		if anno.deny[cat] {
+			lc.pass.Reportf(call.Pos(), "%s.%s called while %s is held (locked at line %d; //vet:lockscope deny=%s)",
+				pkgNameOf(f), f.Name(), anno.label, lc.pass.Fset.Position(lockPos).Line, cat)
+		}
+	}
+}
+
+// blockOp reports a blocking channel/select operation under any mutex that
+// denies "block".
+func (lc *lockChecker) blockOp(pos token.Pos, what string, held heldSet) {
+	for v, lockPos := range held {
+		anno := lc.annos[v]
+		if anno.deny["block"] {
+			lc.pass.Reportf(pos, "%s while %s is held (locked at line %d; //vet:lockscope deny=block)",
+				what, anno.label, lc.pass.Fset.Position(lockPos).Line)
+		}
+	}
+}
+
+// callCategory classifies a callee into a deny category, or "".
+func callCategory(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	name, pkg := f.Name(), pkgPathOf(f)
+	switch {
+	case pathHasSuffix(pkg, "internal/protocol") && (name == "Encode" || name == "AppendEncode"):
+		return "encode"
+	case pathHasSuffix(pkg, "internal/queue") && name == "PopWait":
+		return "block"
+	case pathHasSuffix(pkg, "internal/queue") && strings.HasPrefix(name, "Push"):
+		return "push"
+	case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		return "time"
+	case pkg == "time" && name == "Sleep":
+		return "block"
+	case pkg == "sync" && name == "Wait":
+		return "block"
+	case isWriteName(name) && (pkg == "net" || pkg == "io" ||
+		pathHasSuffix(pkg, "internal/websocket") || pathHasSuffix(pkg, "internal/core")):
+		return "write"
+	case (name == "Send" || name == "SendFrame") && pathHasSuffix(pkg, "internal/core"):
+		return "write"
+	}
+	return ""
+}
+
+func isWriteName(name string) bool {
+	switch name {
+	case "Write", "WriteBatch", "WriteMessage", "WriteControl", "WriteTo":
+		return true
+	}
+	return false
+}
+
+// pkgNameOf returns the short package name of f for diagnostics.
+func pkgNameOf(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return "?"
+	}
+	return f.Pkg().Name()
+}

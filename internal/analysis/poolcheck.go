@@ -1,0 +1,668 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the pooled-object lifecycle contract (docs/
+// ARCHITECTURE.md, "The ingest path"): the engine's hot paths recycle
+// message structs and payload buffers through pools, which is only sound if
+// every acquisition reaches its release on every control-flow path and
+// nothing touches an object after handing it back.
+//
+// Tracked acquisitions (function-local):
+//
+//	m := protocol.AcquireMessage()       release: protocol.ReleaseMessage
+//	m, err := protocol.DecodeBodyPooled  release: ReleaseMessage or ReleasePayload
+//	b := bufpool.Get(n)                  release: bufpool.Put or core.RecycleReadChunk
+//
+// Ownership transfers end tracking: returning the object, passing it to
+// (*core.Engine).Publish (documented to take ownership), or enqueueing it
+// through an internal/queue Push whose rejection result the caller
+// inspects. A queue Push carrying a pooled object with its result ignored
+// is itself a finding — a closed queue drops the item and nobody releases
+// it (the shutdown-leak class fixed in internal/core's ioThread).
+//
+// Escapes are findings: storing a tracked object — or its pooled Payload —
+// into a field, map, or slice element keeps pool-owned memory alive in a
+// long-lived structure; pooled payloads must be detached first with
+// protocol.UnpoolPayload.
+//
+// The check is intra-procedural: objects received as parameters follow
+// documented ownership conventions the analyzer cannot see, and calls that
+// are neither releases nor transfers are treated as borrows (tracking
+// continues through them).
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pooled message/buffer lifecycle: release on all paths, no use after release, no pooled escape",
+	Run:  runPoolCheck,
+}
+
+// pooled-object kinds.
+const (
+	pkMessage   = iota // protocol.AcquireMessage
+	pkPooledMsg        // protocol.DecodeBodyPooled (pooled payload, plain struct)
+	pkBuffer           // bufpool.Get
+)
+
+var poolKindName = [...]string{"pooled message", "pooled decode", "pooled buffer"}
+
+// status bits of one tracked object; paths merge by union.
+const (
+	stLive        = 1 << iota // owned, not yet released
+	stReleased                // returned to its pool
+	stTransferred             // ownership moved (return, Publish, checked Push, closure)
+)
+
+// ptrack is the per-variable lifecycle state.
+type ptrack struct {
+	kind     int
+	status   int
+	deferred bool // released by a defer: covers every return
+	acquired token.Pos
+	// errVar pairs a two-valued acquisition (m, err := DecodeBodyPooled)
+	// with its error: on the err != nil branch there is nothing to release.
+	errVar *types.Var
+}
+
+type pstate map[*types.Var]*ptrack
+
+func (s pstate) clone() pstate {
+	out := make(pstate, len(s))
+	for v, t := range s {
+		c := *t
+		out[v] = &c
+	}
+	return out
+}
+
+// merge folds the state of a fall-through branch into s by union.
+func (s pstate) merge(branch pstate) {
+	for v, bt := range branch {
+		if t, ok := s[v]; ok {
+			t.status |= bt.status
+			t.deferred = t.deferred || bt.deferred
+		} else {
+			c := *bt
+			s[v] = &c
+		}
+	}
+}
+
+func runPoolCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			pc := &poolChecker{pass: pass}
+			st := pstate{}
+			terminated := pc.stmts(fn.Body.List, st)
+			if !terminated {
+				pc.reportLive(st, fn.Body.Rbrace, "the end of the function")
+			}
+		}
+	}
+}
+
+type poolChecker struct {
+	pass *Pass
+	// bareCalls marks calls appearing as expression statements: their
+	// results (e.g. a queue Push's rejection bool) are discarded.
+	bareCalls map[*ast.CallExpr]bool
+}
+
+// reportLive flags every still-owned object at a function exit point.
+func (pc *poolChecker) reportLive(st pstate, pos token.Pos, where string) {
+	for v, t := range st {
+		if t.status&stLive != 0 && !t.deferred {
+			pc.pass.Reportf(pos, "%s %q (acquired at line %d) is not released on the path reaching %s",
+				poolKindName[t.kind], v.Name(), pc.pass.Fset.Position(t.acquired).Line, where)
+		}
+	}
+}
+
+// stmts analyzes a statement list, mutating st; it reports whether control
+// cannot fall off the end of the list.
+func (pc *poolChecker) stmts(list []ast.Stmt, st pstate) bool {
+	for _, s := range list {
+		if pc.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt analyzes one statement; true means control does not continue past it.
+func (pc *poolChecker) stmt(s ast.Stmt, st pstate) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		pc.assign(s, st)
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if pc.bareCalls == nil {
+				pc.bareCalls = map[*ast.CallExpr]bool{}
+			}
+			pc.bareCalls[call] = true
+		}
+		pc.expr(s.X, st)
+
+	case *ast.DeferStmt:
+		if v := pc.releaseTarget(s.Call, st); v != nil {
+			t := st[v]
+			t.status = stReleased
+			t.deferred = true
+		} else {
+			// A deferred closure or call is a use of its arguments, but runs
+			// after every release point — skip use-after-release there.
+			pc.transferClosureCaptures(s.Call, st)
+		}
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			pc.expr(res, st)
+			pc.markReturned(res, st)
+		}
+		pc.reportLive(st, s.Pos(), "this return")
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the list; treat as terminating so branch
+		// merges do not see their state (conservative for leak detection).
+		return true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			pc.stmt(s.Init, st)
+		}
+		pc.expr(s.Cond, st)
+		errV, thenIsErr := pc.errNilCheck(s.Cond)
+		thenSt := st.clone()
+		if errV != nil && thenIsErr {
+			dropPaired(thenSt, errV)
+		}
+		thenTerm := pc.stmts(s.Body.List, thenSt)
+		var elseSt pstate
+		elseTerm := false
+		if s.Else != nil {
+			elseSt = st.clone()
+			if errV != nil && !thenIsErr {
+				dropPaired(elseSt, errV)
+			}
+			elseTerm = pc.stmt(s.Else, elseSt)
+		}
+		switch {
+		case s.Else == nil:
+			if !thenTerm {
+				st.merge(thenSt)
+			}
+			return false
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			pc.replace(st, elseSt)
+		case elseTerm:
+			pc.replace(st, thenSt)
+		default:
+			pc.replace(st, thenSt)
+			st.merge(elseSt)
+		}
+		return false
+
+	case *ast.BlockStmt:
+		return pc.stmts(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			pc.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			pc.expr(s.Cond, st)
+		}
+		body := st.clone()
+		pc.stmts(s.Body.List, body)
+		// Loop bodies are analyzed for their internal lifecycle only; state
+		// after the loop conservatively keeps the pre-loop view.
+		return false
+
+	case *ast.RangeStmt:
+		pc.expr(s.X, st)
+		body := st.clone()
+		pc.stmts(s.Body.List, body)
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			pc.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			pc.expr(s.Tag, st)
+		}
+		return pc.caseClauses(s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			pc.stmt(s.Init, st)
+		}
+		return pc.caseClauses(s.Body, st, true)
+
+	case *ast.SelectStmt:
+		return pc.caseClauses(s.Body, st, false)
+
+	case *ast.GoStmt:
+		pc.transferClosureCaptures(s.Call, st)
+
+	case *ast.SendStmt:
+		pc.expr(s.Chan, st)
+		pc.expr(s.Value, st)
+		pc.markReturned(s.Value, st) // sent away: the receiver owns it now
+
+	case *ast.IncDecStmt:
+		pc.expr(s.X, st)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						pc.expr(val, st)
+					}
+				}
+			}
+		}
+
+	case *ast.LabeledStmt:
+		return pc.stmt(s.Stmt, st)
+	}
+	return false
+}
+
+// errNilCheck matches `err != nil` / `err == nil` conditions, returning the
+// error variable and whether the then-branch is the error branch.
+func (pc *poolChecker) errNilCheck(cond ast.Expr) (*types.Var, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	var side ast.Expr
+	switch {
+	case isNilIdent(be.Y):
+		side = be.X
+	case isNilIdent(be.X):
+		side = be.Y
+	default:
+		return nil, false
+	}
+	id, ok := ast.Unparen(side).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, _ := pc.pass.TypesInfo.Uses[id].(*types.Var)
+	return v, be.Op == token.NEQ
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// dropPaired forgets every tracked object whose paired error variable is
+// errV: on that branch the acquisition failed and returned nothing to own.
+func dropPaired(st pstate, errV *types.Var) {
+	for v, t := range st {
+		if t.errVar == errV {
+			delete(st, v)
+		}
+	}
+}
+
+// replace overwrites st's contents with from's.
+func (pc *poolChecker) replace(st, from pstate) {
+	for v := range st {
+		delete(st, v)
+	}
+	for v, t := range from {
+		st[v] = t
+	}
+}
+
+// caseClauses analyzes a switch/select body: each clause starts from a
+// clone; fall-through clauses merge. hasDefault-less switches can skip every
+// clause, so the pre-switch state always participates in the merge.
+func (pc *poolChecker) caseClauses(body *ast.BlockStmt, st pstate, isSwitch bool) bool {
+	merged := false
+	var acc pstate
+	exhaustive := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				pc.expr(e, st)
+			}
+			if c.List == nil {
+				exhaustive = true // default clause
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				pc.stmt(c.Comm, st.clone())
+			}
+			if c.Comm == nil {
+				exhaustive = true
+			}
+			stmts = c.Body
+		}
+		cs := st.clone()
+		if !pc.stmts(stmts, cs) {
+			if acc == nil {
+				acc = cs
+			} else {
+				acc.merge(cs)
+			}
+			merged = true
+		}
+	}
+	_ = isSwitch
+	if merged {
+		if exhaustive {
+			pc.replace(st, acc)
+		} else {
+			st.merge(acc)
+		}
+		return false
+	}
+	// Every clause terminated: only an exhaustive switch terminates the list.
+	return exhaustive
+}
+
+// assign handles acquisitions, escapes, and ordinary uses in an assignment.
+func (pc *poolChecker) assign(s *ast.AssignStmt, st pstate) {
+	// Acquisition: v := Acquire() / v, err := DecodeBodyPooled(..).
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if kind, ok := pc.acquireKind(call); ok {
+				for _, arg := range call.Args {
+					pc.expr(arg, st)
+				}
+				if v := pc.lhsVar(s.Lhs[0]); v != nil {
+					t := &ptrack{kind: kind, status: stLive, acquired: s.Pos()}
+					if len(s.Lhs) == 2 {
+						t.errVar = pc.lhsVar(s.Lhs[1])
+					}
+					st[v] = t
+				}
+				return
+			}
+		}
+	}
+	for _, rhs := range s.Rhs {
+		pc.expr(rhs, st)
+	}
+	for i, lhs := range s.Lhs {
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			// Storing into a field, map, or slice element: a tracked object
+			// (or a pooled payload) on the right-hand side escapes into
+			// longer-lived structure.
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			if rhs != nil {
+				pc.checkEscape(rhs, st)
+			}
+			pc.expr(lhs, st)
+		default:
+			// Rebinding a tracked name forgets the old object.
+			if v := pc.lhsVar(lhs); v != nil {
+				delete(st, v)
+			}
+		}
+	}
+}
+
+// checkEscape reports tracked objects (or their pooled payloads) reachable
+// from expr without an UnpoolPayload detach.
+func (pc *poolChecker) checkEscape(expr ast.Expr, st pstate) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := calleeOf(pc.pass.TypesInfo, n); isFuncIn(f, "internal/protocol", "UnpoolPayload") {
+				return false // detached: safe to retain
+			}
+		case *ast.Ident:
+			if v := pc.trackedUse(n, st); v != nil {
+				t := st[v]
+				if t.status&stLive != 0 {
+					pc.pass.Reportf(n.Pos(), "%s %q escapes into a long-lived structure without UnpoolPayload/detach",
+						poolKindName[t.kind], v.Name())
+					t.status = stTransferred // one report per escape
+				}
+			}
+		}
+		return true
+	})
+}
+
+// expr processes uses, releases, and transfers inside one expression tree.
+func (pc *poolChecker) expr(e ast.Expr, st pstate) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pc.funcLitCaptures(n, st)
+			return false
+		case *ast.CallExpr:
+			if v := pc.releaseTarget(n, st); v != nil {
+				t := st[v]
+				if t.status == stReleased && !t.deferred {
+					pc.pass.Reportf(n.Pos(), "%s %q is released twice", poolKindName[t.kind], v.Name())
+				}
+				t.status = stReleased
+				return false
+			}
+			if pc.transferCall(n, st) {
+				return false
+			}
+		case *ast.Ident:
+			if v := pc.trackedUse(n, st); v != nil {
+				t := st[v]
+				if t.status == stReleased && !t.deferred {
+					pc.pass.Reportf(n.Pos(), "use of %s %q after release", poolKindName[t.kind], v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// acquireKind matches a pool acquisition call.
+func (pc *poolChecker) acquireKind(call *ast.CallExpr) (int, bool) {
+	f := calleeOf(pc.pass.TypesInfo, call)
+	switch {
+	case isFuncIn(f, "internal/protocol", "AcquireMessage"):
+		return pkMessage, true
+	case isFuncIn(f, "internal/protocol", "DecodeBodyPooled"):
+		return pkPooledMsg, true
+	case isFuncIn(f, "internal/bufpool", "Get"):
+		return pkBuffer, true
+	}
+	return 0, false
+}
+
+// releaseTarget returns the tracked variable a call releases, if any.
+func (pc *poolChecker) releaseTarget(call *ast.CallExpr, st pstate) *types.Var {
+	f := calleeOf(pc.pass.TypesInfo, call)
+	if f == nil || len(call.Args) == 0 {
+		return nil
+	}
+	v := pc.argVar(call.Args[0], st)
+	if v == nil {
+		return nil
+	}
+	kind := st[v].kind
+	switch {
+	case isFuncIn(f, "internal/protocol", "ReleaseMessage"):
+		if kind == pkMessage || kind == pkPooledMsg {
+			return v
+		}
+	case isFuncIn(f, "internal/protocol", "ReleasePayload"):
+		if kind == pkPooledMsg {
+			return v
+		}
+	case isFuncIn(f, "internal/bufpool", "Put"),
+		isFuncIn(f, "internal/core", "RecycleReadChunk"):
+		if kind == pkBuffer {
+			return v
+		}
+	}
+	return nil
+}
+
+// transferCall handles ownership-transferring calls. It reports ignored
+// queue-push rejections and returns true when the call subtree was fully
+// handled.
+func (pc *poolChecker) transferCall(call *ast.CallExpr, st pstate) bool {
+	f := calleeOf(pc.pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	isPush := pathHasSuffix(pkgPathOf(f), "internal/queue") &&
+		len(f.Name()) >= 4 && f.Name()[:4] == "Push"
+	isPublish := isFuncIn(f, "internal/core", "Publish")
+	if !isPush && !isPublish {
+		return false
+	}
+	carried := pc.trackedIn(call, st)
+	if len(carried) == 0 {
+		return false
+	}
+	if isPush && pc.resultIgnored(call) {
+		for _, v := range carried {
+			pc.pass.Reportf(call.Pos(),
+				"%s %q pushed to a queue with the rejection result ignored: a closed queue leaks it (check the Push result and release on rejection)",
+				poolKindName[st[v].kind], v.Name())
+		}
+	}
+	for _, v := range carried {
+		st[v].status = stTransferred
+	}
+	return true
+}
+
+// trackedIn collects live tracked variables referenced in the call's
+// arguments.
+func (pc *poolChecker) trackedIn(call *ast.CallExpr, st pstate) []*types.Var {
+	var out []*types.Var
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v := pc.trackedUse(id, st); v != nil && st[v].status&stLive != 0 {
+					out = append(out, v)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// resultIgnored reports whether call appears as a bare statement, i.e. its
+// boolean rejection result is dropped.
+func (pc *poolChecker) resultIgnored(call *ast.CallExpr) bool {
+	// The walk visits calls from within expr trees; a call whose result is
+	// consumed appears under an if/assign/return and is visited through that
+	// context first. Bare statements reach expr() as the root expression —
+	// detected by position: ExprStmt dispatch passes the call directly.
+	return pc.bareCalls[call]
+}
+
+// funcLitCaptures transfers any tracked variable captured by a function
+// literal: the closure may run later, so intra-procedural tracking ends
+// (conservatively, without a finding).
+func (pc *poolChecker) funcLitCaptures(lit *ast.FuncLit, st pstate) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := pc.trackedUse(id, st); v != nil {
+				st[v].status = stTransferred
+			}
+		}
+		return true
+	})
+}
+
+// transferClosureCaptures ends tracking for objects referenced by a deferred
+// or spawned call.
+func (pc *poolChecker) transferClosureCaptures(call *ast.CallExpr, st pstate) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := pc.trackedUse(id, st); v != nil {
+				st[v].status = stTransferred
+			}
+		}
+		return true
+	})
+}
+
+// markReturned transfers tracked variables appearing in a returned (or sent)
+// expression: ownership moves to the caller/receiver.
+func (pc *poolChecker) markReturned(e ast.Expr, st pstate) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := pc.trackedUse(id, st); v != nil {
+				st[v].status = stTransferred
+			}
+		}
+		return true
+	})
+}
+
+// lhsVar resolves an assignment target identifier to its variable.
+func (pc *poolChecker) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := pc.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pc.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// argVar resolves a call argument to a tracked variable (allowing m,
+// m[:n]-style reslices, and &m).
+func (pc *poolChecker) argVar(e ast.Expr, st pstate) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pc.trackedUse(e, st)
+	case *ast.SliceExpr:
+		return pc.argVar(e.X, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return pc.argVar(e.X, st)
+		}
+	}
+	return nil
+}
+
+// trackedUse returns the tracked variable behind an identifier use, if any.
+func (pc *poolChecker) trackedUse(id *ast.Ident, st pstate) *types.Var {
+	v, ok := pc.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := st[v]; !tracked {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,19 @@
+// Fixtures for the suppression-directive policy: a //vet:ignore without a
+// reason (or naming an unknown analyzer) is itself a diagnostic and
+// suppresses nothing. Checked by an explicit test rather than want
+// comments, since the malformed directive occupies the comment position.
+package badignore
+
+import "fmt"
+
+//vet:hotpath
+func reasonlessIgnore(id int) string {
+	//vet:ignore hotpath
+	return fmt.Sprintf("client-%d", id)
+}
+
+//vet:hotpath
+func unknownAnalyzerIgnore(id int) string {
+	//vet:ignore nosuchcheck -- the analyzer name is wrong
+	return fmt.Sprintf("client-%d", id)
+}

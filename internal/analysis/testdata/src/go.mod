@@ -1,0 +1,3 @@
+module fixture.test
+
+go 1.24

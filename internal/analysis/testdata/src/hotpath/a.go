@@ -1,0 +1,74 @@
+// Fixtures for the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+// ---- positive cases ----
+
+//vet:hotpath
+func fmtOnHotPath(id int) string {
+	return fmt.Sprintf("client-%d", id) // want `hot path calls fmt\.Sprintf`
+}
+
+//vet:hotpath
+func concatOnHotPath(topic, suffix string) string {
+	return topic + "/" + suffix // want `hot path concatenates strings`
+}
+
+//vet:hotpath
+func concatAssignOnHotPath(parts []string) string {
+	var s string
+	for _, p := range parts {
+		s += p // want `hot path concatenates strings with \+=`
+	}
+	return s
+}
+
+//vet:hotpath
+func mapLiteralOnHotPath() map[string]int {
+	return map[string]int{"pub": 1} // want `hot path allocates a map literal`
+}
+
+//vet:hotpath
+func mapMakeOnHotPath(n int) map[string]int {
+	return make(map[string]int, n) // want `hot path allocates a map with make`
+}
+
+//vet:hotpath
+func captureOnHotPath(seq uint64) func() uint64 {
+	return func() uint64 { return seq + 1 } // want `hot path closure captures "seq"`
+}
+
+// ---- negative cases ----
+
+//vet:hotpath
+func appendOnly(dst []byte, b byte) []byte {
+	const prefix = "v" + "1" // constant-folded: free at runtime
+	_ = prefix
+	return append(dst, b)
+}
+
+//vet:hotpath
+func captureFreeClosure(vals []int) int {
+	add := func(a, b int) int { return a + b }
+	total := 0
+	for _, v := range vals {
+		total = add(total, v)
+	}
+	return total
+}
+
+// coldPath has no annotation: the same constructs are fine here.
+func coldPath(id int) string {
+	return fmt.Sprintf("client-%d", id)
+}
+
+// ---- suppressed case ----
+
+//vet:hotpath
+func suppressedFmt(id int) error {
+	if id < 0 {
+		return fmt.Errorf("bad id %d", id) //vet:ignore hotpath -- fixture: error construction leaves the hot path
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package bufpool is a signature-compatible stub of the real
+// migratorydata/internal/bufpool package.
+package bufpool
+
+// ClassSize mirrors the real pool's single size class.
+const ClassSize = 8 << 10
+
+// Get returns an n-byte buffer, pool-backed when n fits the class.
+func Get(n int) []byte { return make([]byte, n) }
+
+// Put recycles a pool-backed buffer, reporting whether it was retained.
+func Put(b []byte) bool { return cap(b) == ClassSize }

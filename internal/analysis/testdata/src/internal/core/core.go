@@ -1,0 +1,16 @@
+// Package core is a signature-compatible stub of the real
+// migratorydata/internal/core package.
+package core
+
+import "fixture.test/internal/protocol"
+
+// Engine mirrors the real engine's ownership-taking publish entry point.
+type Engine struct {
+	published []*protocol.Message
+}
+
+// Publish takes ownership of m.
+func (e *Engine) Publish(m *protocol.Message) { e.published = append(e.published, m) }
+
+// RecycleReadChunk returns a pooled read chunk to the buffer pool.
+func RecycleReadChunk(chunk []byte) { _ = chunk }

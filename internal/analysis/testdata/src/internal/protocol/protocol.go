@@ -1,0 +1,44 @@
+// Package protocol is a signature-compatible stub of the real
+// migratorydata/internal/protocol package: the analyzers match callees by
+// package-path suffix, so fixtures exercise the same rules production code
+// does.
+package protocol
+
+// Message mirrors the pooled message struct.
+type Message struct {
+	Topic   string
+	Topics  []string
+	Payload []byte
+}
+
+// AcquireMessage takes a message from the pool.
+func AcquireMessage() *Message { return &Message{} }
+
+// ReleaseMessage returns a message (and its payload) to the pool.
+func ReleaseMessage(m *Message) { m.Payload = nil }
+
+// ReleasePayload returns only the pooled payload buffer.
+func ReleasePayload(m *Message) { m.Payload = nil }
+
+// DecodeBodyPooled decodes into a pool-backed payload.
+func DecodeBodyPooled(body []byte) (*Message, error) {
+	if len(body) == 0 {
+		return nil, errEmpty
+	}
+	return &Message{Payload: body}, nil
+}
+
+// UnpoolPayload detaches a pooled payload into plain heap memory.
+func UnpoolPayload(p []byte) []byte { return append([]byte(nil), p...) }
+
+// Encode serializes a message.
+func Encode(m *Message) []byte { return m.Payload }
+
+// AppendEncode serializes a message into dst.
+func AppendEncode(dst []byte, m *Message) []byte { return append(dst, m.Payload...) }
+
+type strError string
+
+func (e strError) Error() string { return string(e) }
+
+var errEmpty error = strError("empty body")

@@ -1,0 +1,40 @@
+// Package queue is a signature-compatible stub of the real
+// migratorydata/internal/queue package.
+package queue
+
+// MPSC mirrors the real queue's ownership contract: Push reports false when
+// the queue is closed, and the caller then still owns the item.
+type MPSC[T any] struct {
+	items  []T
+	closed bool
+}
+
+// Push enqueues one item; false means the queue is closed and the caller
+// keeps ownership.
+func (q *MPSC[T]) Push(v T) bool {
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, v)
+	return true
+}
+
+// PushAll enqueues a batch with the same rejection contract as Push.
+func (q *MPSC[T]) PushAll(vs []T) bool {
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, vs...)
+	return true
+}
+
+// PopWait blocks until an item is available.
+func (q *MPSC[T]) PopWait() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

@@ -1,0 +1,101 @@
+// Fixtures for the lockscope analyzer.
+package lockscope
+
+import (
+	"sync"
+	"time"
+
+	"fixture.test/internal/protocol"
+	"fixture.test/internal/queue"
+)
+
+type group struct {
+	//vet:lockscope deny=encode,push,time,block
+	mu      sync.Mutex
+	staged  []*protocol.Message
+	encoded []byte
+}
+
+var out queue.MPSC[[]byte]
+
+// ---- positive cases ----
+
+func encodeUnderLock(g *group, m *protocol.Message) {
+	g.mu.Lock()
+	g.encoded = protocol.Encode(m) // want `protocol\.Encode called while group\.mu is held`
+	g.mu.Unlock()
+}
+
+func pushUnderLock(g *group, b []byte) {
+	g.mu.Lock()
+	out.Push(b) // want `queue\.Push called while group\.mu is held`
+	g.mu.Unlock()
+}
+
+func timeUnderDeferredUnlock(g *group) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return time.Now().UnixNano() // want `time\.Now called while group\.mu is held`
+}
+
+func receiveUnderLock(g *group, ch chan []byte) {
+	g.mu.Lock()
+	g.encoded = <-ch // want `channel receive while group\.mu is held`
+	g.mu.Unlock()
+}
+
+func encodeUnderLockInBranch(g *group, m *protocol.Message, fast bool) {
+	g.mu.Lock()
+	if !fast {
+		g.encoded = protocol.AppendEncode(g.encoded[:0], m) // want `protocol\.AppendEncode called while group\.mu is held`
+	}
+	g.mu.Unlock()
+}
+
+// ---- negative cases ----
+
+func stageUnderLockEncodeOutside(g *group, m *protocol.Message) {
+	g.mu.Lock()
+	g.staged = append(g.staged, m)
+	g.mu.Unlock()
+	g.encoded = protocol.Encode(m)
+}
+
+func unlockBeforeDeliver(g *group) {
+	g.mu.Lock()
+	staged := g.staged
+	g.staged = nil
+	g.mu.Unlock()
+	for _, m := range staged {
+		out.Push(protocol.Encode(m))
+	}
+}
+
+func lockPerIteration(g *group, ms []*protocol.Message) {
+	for _, m := range ms {
+		g.mu.Lock()
+		g.staged = append(g.staged, m)
+		g.mu.Unlock()
+		out.Push(protocol.Encode(m))
+	}
+}
+
+// unannotated mutexes are out of scope.
+type plain struct {
+	mu sync.Mutex
+}
+
+func encodeUnderPlainLock(p *plain, m *protocol.Message) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return protocol.Encode(m)
+}
+
+// ---- suppressed case ----
+
+func suppressedEncode(g *group, m *protocol.Message) {
+	g.mu.Lock()
+	//vet:ignore lockscope -- fixture: single-subscriber group, encode is cheaper than a second lock round-trip
+	g.encoded = protocol.Encode(m)
+	g.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+// Fixtures for the poolcheck analyzer: each `// want` comment is a regexp
+// the runner matches against diagnostics reported on that line; lines
+// without one must stay clean.
+package poolcheck
+
+import (
+	"fixture.test/internal/bufpool"
+	"fixture.test/internal/core"
+	"fixture.test/internal/protocol"
+	"fixture.test/internal/queue"
+)
+
+var q queue.MPSC[*protocol.Message]
+
+// ---- positive cases ----
+
+func leakOnErrorPath(body []byte) error {
+	m := protocol.AcquireMessage()
+	if len(body) == 0 {
+		return errBad // want `pooled message "m" \(acquired at line \d+\) is not released`
+	}
+	m.Payload = body
+	protocol.ReleaseMessage(m)
+	return nil
+}
+
+func leakAtEnd() { // fallthrough leak reports at the closing brace
+	m := protocol.AcquireMessage()
+	m.Topic = "t"
+} // want `pooled message "m" \(acquired at line \d+\) is not released`
+
+func useAfterRelease() string {
+	m := protocol.AcquireMessage()
+	protocol.ReleaseMessage(m)
+	return m.Topic // want `use of pooled message "m" after release`
+}
+
+func doubleRelease() {
+	m := protocol.AcquireMessage()
+	protocol.ReleaseMessage(m)
+	protocol.ReleaseMessage(m) // want `pooled message "m" is released twice`
+}
+
+type retained struct {
+	payload []byte
+}
+
+func escapeWithoutDetach(r *retained) {
+	m := protocol.AcquireMessage()
+	r.payload = m.Payload // want `pooled message "m" escapes into a long-lived structure`
+	protocol.ReleaseMessage(m)
+}
+
+func pushResultIgnored() {
+	m := protocol.AcquireMessage()
+	q.Push(m) // want `pooled message "m" pushed to a queue with the rejection result ignored`
+}
+
+func bufferLeakOnBranch(n int) bool {
+	b := bufpool.Get(n)
+	if n > bufpool.ClassSize {
+		return false // want `pooled buffer "b" \(acquired at line \d+\) is not released`
+	}
+	bufpool.Put(b)
+	return true
+}
+
+// ---- negative cases ----
+
+func releasedOnAllPaths(body []byte) error {
+	m := protocol.AcquireMessage()
+	if len(body) == 0 {
+		protocol.ReleaseMessage(m)
+		return errBad
+	}
+	m.Payload = body
+	protocol.ReleaseMessage(m)
+	return nil
+}
+
+func deferredRelease(body []byte) error {
+	m := protocol.AcquireMessage()
+	defer protocol.ReleaseMessage(m)
+	if len(body) == 0 {
+		return errBad
+	}
+	m.Payload = body
+	return nil
+}
+
+func decodeErrorPathOwnsNothing(body []byte) error {
+	m, err := protocol.DecodeBodyPooled(body)
+	if err != nil {
+		return err
+	}
+	protocol.ReleasePayload(m)
+	return nil
+}
+
+func escapeAfterDetach(r *retained) {
+	m := protocol.AcquireMessage()
+	r.payload = protocol.UnpoolPayload(m.Payload)
+	protocol.ReleaseMessage(m)
+}
+
+func pushResultChecked() {
+	m := protocol.AcquireMessage()
+	if !q.Push(m) {
+		protocol.ReleaseMessage(m)
+	}
+}
+
+func ownershipToPublish(e *core.Engine) {
+	m := protocol.AcquireMessage()
+	m.Topic = "t"
+	e.Publish(m)
+}
+
+func ownershipToCaller() *protocol.Message {
+	m := protocol.AcquireMessage()
+	return m
+}
+
+func chunkRecycled(n int) {
+	b := bufpool.Get(n)
+	core.RecycleReadChunk(b)
+}
+
+// ---- suppressed case ----
+
+func suppressedLeak() {
+	m := protocol.AcquireMessage()
+	m.Topic = "t"
+	//vet:ignore poolcheck -- fixture: ownership documented to pass through a side table
+} // the directive on the line above silences the closing-brace report
+
+type strError string
+
+func (e strError) Error() string { return string(e) }
+
+var errBad error = strError("bad input")

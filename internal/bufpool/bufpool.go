@@ -28,6 +28,8 @@ var pool = sync.Pool{New: func() any { return new([ClassSize]byte) }}
 // Get returns a buffer of length n. Buffers with n <= ClassSize come from
 // the pool; larger ones are freshly allocated (and will not be recycled).
 // The buffer is NOT zeroed — callers overwrite it.
+//
+//vet:hotpath
 func Get(n int) []byte {
 	if n > ClassSize {
 		return make([]byte, n)
@@ -39,6 +41,8 @@ func Get(n int) []byte {
 // was pooled. Only class-sized backing arrays are recycled, so re-slicing
 // from the start (b[:n]) is fine but callers must never Put a buffer whose
 // backing array is still referenced elsewhere. Put(nil) is a no-op.
+//
+//vet:hotpath
 func Put(b []byte) bool {
 	if cap(b) != ClassSize {
 		return false

@@ -84,6 +84,10 @@ type Cache struct {
 // rather than O(entries) — it must stay cheap enough for wait loops and
 // per-second stats logs even with 100k cold topics cached.
 type group struct {
+	// The group lock is the per-publish serialization point (one write
+	// acquisition per append, counted by writeLock); everything expensive
+	// is forbidden under it.
+	//vet:lockscope deny=encode,push,write,time,block
 	mu     sync.RWMutex
 	topics map[string]*ring
 
@@ -252,6 +256,8 @@ func (c *Cache) AppendGroup(gid int, topic string, e Entry) bool {
 // (sequencer lock, Position, Append); AppendNext is the whole critical
 // section, and MemStats.GroupLockAcquisitions lets benchmarks assert the
 // exactly-one-acquisition invariant.
+//
+//vet:hotpath
 func (c *Cache) AppendNext(gid int, topic string, e Entry) (Entry, bool) {
 	g := c.groupAt(gid, topic)
 	g.mu.Lock()

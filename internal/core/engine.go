@@ -447,6 +447,8 @@ func (e *Engine) Deliver(topic string, entry cache.Entry) int {
 // the sequencer and the cluster paths compute it to take the group lock —
 // saving a redundant hash of the topic name on the publish hot path. An
 // out-of-range group falls back to hashing.
+//
+//vet:hotpath
 func (e *Engine) DeliverGroup(group int, topic string, entry cache.Entry) int {
 	if group < 0 || group >= len(e.subIndex.shards) {
 		group = e.cache.GroupOf(topic)

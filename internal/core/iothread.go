@@ -165,6 +165,8 @@ func (t *ioThread) do(fn func()) bool {
 // message, it adds that message to the queue of the Worker assigned to that
 // client", §4). The chunk is pool-backed and dead once fed, so it is
 // recycled here — the read path's steady state allocates nothing.
+//
+//vet:hotpath
 func (t *ioThread) handleBytes(c *Client, data []byte) {
 	defer RecycleReadChunk(data)
 	if c.closed.Load() {
@@ -182,7 +184,14 @@ func (t *ioThread) handleBytes(c *Client, data []byte) {
 		if m == nil {
 			return
 		}
-		c.worker.in.Push(workerEvent{kind: weClientMsg, c: c, msg: m})
+		if !c.worker.in.Push(workerEvent{kind: weClientMsg, c: c, msg: m}) {
+			// The worker queue only rejects after Close (engine shutdown
+			// racing the read path). The decoder's messages and payloads are
+			// pool-backed; dropping m without releasing would leak a pool
+			// slot per in-flight message at shutdown.
+			protocol.ReleaseMessage(m)
+			return
+		}
 	}
 }
 

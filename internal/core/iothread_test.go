@@ -163,3 +163,34 @@ func TestGroupedFanoutSkipsClosedClients(t *testing.T) {
 		t.Fatalf("live subscriber got %+v", m)
 	}
 }
+
+// TestHandleBytesReleasesMessageOnClosedWorkerQueue is the regression test
+// for the shutdown leak in handleBytes: the worker queue rejects pushes
+// once the engine closes it, and a rejected weClientMsg used to drop its
+// decoded message — pool-backed struct and 8 KiB payload both — on the
+// floor. Driving handleBytes directly against a closed engine makes the
+// race deterministic; with the rejected message released, the loop runs
+// allocation-free on pool reuse, while a leak costs two fresh allocations
+// per message.
+func TestHandleBytesReleasesMessageOnClosedWorkerQueue(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	frame := protocol.Encode(&protocol.Message{
+		Kind:    protocol.KindPublish,
+		Payload: make([]byte, 64),
+	})
+	c := &Client{worker: e.workers[0]}
+	c.decoder.PoolPayloads = true
+	c.decoder.PoolMessages = true
+	io0 := e.ioThreads[0]
+
+	allocs := testing.AllocsPerRun(50, func() {
+		io0.handleBytes(c, frame)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("handleBytes allocates %.2f/op against a closed worker queue: rejected messages are not returned to their pools", allocs)
+	}
+}

@@ -52,6 +52,7 @@ type staged struct {
 // drained buffer recycled back for staging so the steady state allocates
 // nothing.
 type seqGroup struct {
+	//vet:lockscope deny=encode,push,write,time,block
 	mu       sync.Mutex
 	draining bool
 	pending  []staged
@@ -70,6 +71,8 @@ func newLocalSequencer(e *Engine) *localSequencer {
 }
 
 // publish implements PublishFunc. It does not retain m.
+//
+//vet:hotpath
 func (s *localSequencer) publish(from *Client, m *protocol.Message) {
 	if m.Topic == "" {
 		if from != nil && m.Flags&protocol.FlagAckRequired != 0 {

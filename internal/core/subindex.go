@@ -41,6 +41,10 @@ type subIndex struct {
 }
 
 type subIndexShard struct {
+	// Readers snapshot the worker bitmap under the shard lock and do all
+	// routing work after release (see Deliver); nothing expensive runs
+	// under it.
+	//vet:lockscope deny=encode,push,write,time,block
 	mu     sync.RWMutex
 	topics map[string][]uint64
 }

@@ -280,6 +280,8 @@ func (w *worker) fanOut(topic string, frame []byte) {
 // charged the frame's bytes (and one event) here, and the events carry the
 // topic and its delivery class so the owning IoThread can apply the
 // pressure-tier policy per client.
+//
+//vet:hotpath
 func (w *worker) stageFanout(topic string, frame []byte) {
 	set := w.subsByTopic[topic]
 	if len(set) == 0 {
@@ -324,6 +326,8 @@ func (w *worker) stageFanout(topic string, frame []byte) {
 // PushAll per ioThread regardless of how many deliveries were staged. The
 // event slices are reused (PushAll copies), so the steady state allocates
 // nothing on the worker side.
+//
+//vet:hotpath
 func (w *worker) flushEgress() {
 	for ti, evs := range w.ioEvents {
 		if len(evs) == 0 {

@@ -36,6 +36,8 @@ const headerSize = 4
 
 // AppendEncode appends the full frame (length prefix + body) for m to dst
 // and returns the extended slice.
+//
+//vet:hotpath
 func AppendEncode(dst []byte, m *Message) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length placeholder
@@ -120,19 +122,23 @@ func UnpoolPayload(b []byte) []byte {
 
 // decodeBody decodes a frame body. pooledPayload draws the payload copy
 // from the buffer pool; pooledMsg draws the Message struct itself from the
-// message pool (the caller then owns it and must ReleaseMessage it; on a
-// decode error the struct is returned to the pool here).
+// message pool (the caller then owns it and must ReleaseMessage it). On a
+// decode error everything pool-drawn is recycled here: decodeInto can fail
+// after the payload was already drawn (a frame truncated past the payload
+// field), so the error path must release the payload even when the Message
+// struct itself is heap-allocated.
 func decodeBody(body []byte, pooledPayload, pooledMsg bool) (*Message, error) {
-	var m *Message
-	if pooledMsg {
-		m = AcquireMessage()
-	} else {
-		m = new(Message)
-	}
-	if err := decodeInto(m, body, pooledPayload); err != nil {
-		if pooledMsg {
-			ReleaseMessage(m)
+	if !pooledMsg {
+		m := new(Message)
+		if err := decodeInto(m, body, pooledPayload); err != nil {
+			ReleasePayload(m)
+			return nil, err
 		}
+		return m, nil
+	}
+	m := AcquireMessage()
+	if err := decodeInto(m, body, pooledPayload); err != nil {
+		ReleaseMessage(m) // recycles any pooled payload too
 		return nil, err
 	}
 	return m, nil
@@ -140,6 +146,8 @@ func decodeBody(body []byte, pooledPayload, pooledMsg bool) (*Message, error) {
 
 // decodeInto decodes a frame body into m, which must be empty apart from a
 // reusable Topics backing array (a pool-fresh or newly-allocated message).
+//
+//vet:hotpath
 func decodeInto(m *Message, body []byte, pooledPayload bool) error {
 	d := bodyReader{buf: body, pooled: pooledPayload}
 	kind, err := d.u8()
@@ -148,6 +156,7 @@ func decodeInto(m *Message, body []byte, pooledPayload bool) error {
 	}
 	m.Kind = Kind(kind)
 	if !m.Kind.Valid() {
+		//vet:ignore hotpath -- the error tears the connection down; it never recurs on a live stream
 		return fmt.Errorf("%w: %d", ErrBadKind, kind)
 	}
 	if m.Flags, err = d.u8(); err != nil {

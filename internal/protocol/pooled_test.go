@@ -193,3 +193,36 @@ func TestPooledDecodeErrorReturnsMessageToPool(t *testing.T) {
 		t.Fatal("corrupt frame decoded successfully")
 	}
 }
+
+// TestDecodeBodyPooledErrorReleasesPayload is the regression test for the
+// decodeBody error-path leak: a frame truncated *after* its payload field
+// draws a pool-backed payload and then fails on a later field, and
+// DecodeBodyPooled (heap Message, pooled payload) used to drop that buffer
+// on the floor — one 8 KiB pool slot lost per corrupt frame. With the
+// payload recycled, the steady-state error path performs exactly one
+// allocation (the heap Message struct); a leak shows up as a second,
+// buffer-sized allocation per call.
+func TestDecodeBodyPooledErrorReleasesPayload(t *testing.T) {
+	// Empty strings keep the decode to one legitimate allocation (the heap
+	// Message struct) so the leaked buffer stands out unambiguously.
+	m := &Message{
+		Kind:    KindPublish,
+		Payload: bytes.Repeat([]byte{0x5A}, 140),
+	}
+	body := Encode(m)[headerSize:]
+	// Cutting the trailing byte removes the topic-count varint: the decode
+	// fails only after the payload has already been drawn from the pool.
+	trunc := body[:len(body)-1]
+	if _, err := DecodeBodyPooled(trunc); err == nil {
+		t.Fatal("truncated frame decoded successfully")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dm, err := DecodeBodyPooled(trunc)
+		if err == nil || dm != nil {
+			t.Fatal("truncated frame decoded successfully")
+		}
+	})
+	if allocs > 1.5 {
+		t.Fatalf("error-path decode allocates %.2f/op (want 1): the pooled payload is leaking instead of returning to the pool", allocs)
+	}
+}

@@ -36,12 +36,15 @@ func (s *StreamDecoder) Feed(data []byte) {
 
 // Next decodes and removes the next complete frame, if any.
 // It returns (nil, nil) when more bytes are needed.
+//
+//vet:hotpath
 func (s *StreamDecoder) Next() (*Message, error) {
 	if len(s.buf) < headerSize {
 		return nil, nil
 	}
 	bodyLen := binary.BigEndian.Uint32(s.buf)
 	if bodyLen > MaxFrameSize {
+		//vet:ignore hotpath -- the error tears the connection down; it never recurs on a live stream
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, bodyLen)
 	}
 	total := headerSize + int(bodyLen)

@@ -35,6 +35,8 @@ func NewMPSC[T any]() *MPSC[T] {
 // item and reports false: the consumer is gone, so there is nobody to
 // deliver to. An accepted item is guaranteed to be consumed — PopWait drains
 // everything enqueued before Close.
+//
+//vet:hotpath
 func (q *MPSC[T]) Push(item T) bool {
 	q.mu.Lock()
 	if q.closed {
@@ -65,6 +67,8 @@ func (q *MPSC[T]) adoptSpareLocked() {
 // Push, it reports false on a closed queue — the whole batch is dropped and
 // the caller owns any cleanup (an accepted batch is guaranteed to be
 // consumed). An empty batch is a no-op and reports true even when closed.
+//
+//vet:hotpath
 func (q *MPSC[T]) PushAll(items []T) bool {
 	if len(items) == 0 {
 		return true

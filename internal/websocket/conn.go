@@ -38,6 +38,10 @@ type Conn struct {
 	br       *bufio.Reader
 	isServer bool // servers expect masked frames and send unmasked ones
 
+	// Writing the frame (and stamping its deadline) is writeMu's whole
+	// job, so transport writes and time.Now stay allowed under it —
+	// encoding and queue handoffs do not.
+	//vet:lockscope deny=encode,push,block
 	writeMu  sync.Mutex
 	writeBuf []byte      // masked-path scratch: header + masked payload copy
 	hdrBuf   []byte      // unmasked-path scratch: frame header only
@@ -228,6 +232,8 @@ func (c *Conn) WriteControl(op Opcode, payload []byte) error {
 // WriteBatch carrying a whole output batch — is one writev syscall with no
 // payload copy. Only the masked client path still copies, because masking
 // must not mutate the caller's (possibly shared) payload.
+//
+//vet:hotpath
 func (c *Conn) writeFrame(fin bool, op Opcode, payload []byte) error {
 	var mask [4]byte
 	masked := !c.isServer
