@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1142,6 +1143,56 @@ func BenchmarkSlowConsumerIsolation(b *testing.B) {
 				"disconnects":       float64(stalled.PressureDisconnects),
 				"egress_queue_max":  float64(stalled.MaxEgressQueueBytes),
 			},
+		})
+	}
+}
+
+// BenchmarkScenarios runs the named scenario library at benchmark scale
+// and asserts every scenario's own degradation thresholds — the library's
+// traffic shapes double as regression gates (reduced-scale versions run
+// race-enabled in the test suite; see internal/loadgen/scenarios_test.go).
+//
+// With BENCH_SCENARIOS_JSON=<path> each scenario appends a machine-readable
+// row for the CI bench-trajectory artifact. The deterministic guarantees
+// ride in gated_* metrics (benchguard fails if they ever rise over the
+// committed baseline): reliable gaps and pressure disconnects are zero for
+// every shape in the library.
+func BenchmarkScenarios(b *testing.B) {
+	for _, sc := range loadgen.Scenarios() {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := sc.Run(loadgen.ScenarioOptions{Seed: 21})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Green() {
+					b.Fatalf("scenario %s violated its thresholds:\n  %s",
+						sc.Name, strings.Join(rep.Violations, "\n  "))
+				}
+				b.ReportMetric(rep.MsgsPerSec, "msgs/s")
+				b.ReportMetric(rep.Latency.P99, "lat-p99-ms")
+				b.ReportMetric(rep.DropRate, "drop-rate")
+				b.ReportMetric(float64(rep.WindowDisconnects), "disconnects")
+
+				// Like BenchmarkSlowConsumerIsolation, the trajectory rows
+				// carry no absolute-throughput gate (runner classes vary);
+				// the zero-guarantees are gated, throughput is informational.
+				appendBenchRow(b, "BENCH_SCENARIOS_JSON", 1, metrics.BenchRow{
+					Name:       b.Name(),
+					Iterations: b.N,
+					Extra: map[string]float64{
+						"msgs_per_sec":               rep.MsgsPerSec,
+						"lat_p99_ms":                 rep.Latency.P99,
+						"window_received":            float64(rep.WindowReceived),
+						"window_drops":               float64(rep.WindowDrops),
+						"droppable_gaps":             float64(rep.DroppableGaps),
+						"reconnects":                 float64(rep.Reconnects),
+						"gated_reliable_gaps":        float64(rep.Gaps),
+						"gated_pressure_disconnects": float64(rep.WindowDisconnects),
+					},
+				})
+			}
 		})
 	}
 }

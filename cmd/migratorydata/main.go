@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"syscall"
 	"time"
 
+	"migratorydata/internal/capture"
 	"migratorydata/server"
 )
 
@@ -40,6 +42,8 @@ func main() {
 		conflation   = flag.Duration("conflation", 0, "per-topic conflation interval (0 = off)")
 		egressBudget = flag.Int("egress-budget", 0, "per-client egress byte budget for slow-consumer protection (0 = default 1MiB, negative = off)")
 		statsEvery   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		recordPath   = flag.String("record", "", "record all client traffic to this capture file (replay with mdreplay; off by default)")
+		metricsAddr  = flag.String("metrics", "", "serve Prometheus metrics on this address at /metrics (off by default)")
 		verbose      = flag.Bool("v", false, "verbose logging")
 	)
 	flag.Parse()
@@ -59,6 +63,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Traffic recording (-record): one capture file taps every member's
+	// ingest/egress spine. Nil recorder (the default) costs the hot path a
+	// single nil-check branch.
+	var recorder *capture.Recorder
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create -record file: %v\n", err)
+			os.Exit(1)
+		}
+		recorder, err = capture.NewRecorder(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cannot start recorder: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("recording traffic", "file", *recordPath)
+	}
+
 	memberCfg := func(i int) server.Config {
 		return server.Config{
 			ID:                 fmt.Sprintf("server-%d", i+1),
@@ -73,6 +95,7 @@ func main() {
 			BatchMaxDelay:      *batchDelay,
 			ConflationInterval: *conflation,
 			EgressBudgetBytes:  *egressBudget,
+			Recorder:           recorder,
 			Logger:             logger,
 		}
 	}
@@ -146,11 +169,27 @@ func main() {
 		}()
 	}
 
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", server.MetricsHandler(servers...))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Error("metrics endpoint failed", "addr", *metricsAddr, "err", err)
+			}
+		}()
+		logger.Info("serving metrics", "addr", *metricsAddr, "path", "/metrics")
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	logger.Info("shutting down")
 	for _, s := range servers {
 		s.Close()
+	}
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			logger.Error("closing recorder", "err", err)
+		}
 	}
 }

@@ -1,0 +1,235 @@
+// Package capture implements the traffic record/replay pipeline
+// (docs/BENCHMARKS.md, "Traffic capture format"): a versioned,
+// length-prefixed binary format holding one event per client-connection
+// action — connection open/close, an inbound protocol frame, an outbound
+// protocol frame — each stamped with the monotonic nanosecond delta since
+// the previous event.
+//
+// A Recorder taps a live engine with buffered write-behind (the file write
+// happens on a dedicated goroutine, never on an IoThread), and a Replayer
+// replays the client side of a capture against a candidate build at Nx
+// speed, preserving per-connection ordering and inter-event gaps, and
+// reports divergence (delivered-count, gap, and ordering mismatches)
+// against the recorded session.
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"migratorydata/internal/protocol"
+)
+
+// Version is the current capture-format version, embedded in the header.
+const Version = 1
+
+// magic opens every capture file; the trailing byte is the format version.
+var magic = [6]byte{'M', 'D', 'C', 'A', 'P', Version}
+
+// headerLen is the file-header size in bytes.
+const headerLen = len(magic)
+
+// maxEventSize bounds one event body: the largest protocol frame plus the
+// event envelope (varint timestamp delta, varint connection id, direction).
+const maxEventSize = protocol.MaxFrameSize + 64
+
+// Direction discriminates event types within a capture.
+type Direction uint8
+
+const (
+	// DirOpen marks a client connection being attached to the engine.
+	DirOpen Direction = iota + 1
+	// DirIn is a protocol frame received FROM the client (the replayable
+	// half of a session).
+	DirIn
+	// DirOut is a protocol frame staged TOWARD the client; the replayer
+	// derives its delivery expectations from recorded NOTIFY out-events.
+	DirOut
+	// DirClose marks the connection's teardown.
+	DirClose
+)
+
+// valid reports whether d is a known direction.
+func (d Direction) valid() bool { return d >= DirOpen && d <= DirClose }
+
+// String returns a short human-readable direction name.
+func (d Direction) String() string {
+	switch d {
+	case DirOpen:
+		return "open"
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirClose:
+		return "close"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// Event is one captured connection action.
+//
+// Wire layout (after the 6-byte file header, one event after another):
+//
+//	[u32 big-endian body length]
+//	[uvarint delta]   nanoseconds since the previous event (monotonic)
+//	[uvarint conn]    engine-unique connection id
+//	[u8 direction]    DirOpen | DirIn | DirOut | DirClose
+//	[frame...]        raw protocol frame, empty for open/close
+type Event struct {
+	// Delta is the monotonic time elapsed since the previous event in the
+	// capture (zero for the first event).
+	Delta time.Duration
+	// Conn is the recorded connection id the event belongs to.
+	Conn uint64
+	// Dir is the event direction.
+	Dir Direction
+	// Frame is the raw length-prefixed protocol frame (nil for
+	// open/close events).
+	Frame []byte
+}
+
+// appendEvent appends the wire encoding of one event to dst.
+//
+//vet:hotpath
+func appendEvent(dst []byte, deltaNs uint64, conn uint64, dir Direction, frame []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length placeholder
+	dst = binary.AppendUvarint(dst, deltaNs)
+	dst = binary.AppendUvarint(dst, conn)
+	dst = append(dst, byte(dir))
+	dst = append(dst, frame...)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// ErrBadMagic reports a reader pointed at something that is not a capture
+// file (or a capture of an unknown version).
+var ErrBadMagic = errors.New("capture: bad magic (not a capture file, or unknown version)")
+
+// Writer writes a capture file event by event. It is the low-level half of
+// the Recorder, usable directly by tests and tools that synthesize
+// captures.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter writes the capture header to w and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := w.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("capture: write header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// WriteEvent appends one event to the capture.
+func (wr *Writer) WriteEvent(ev Event) error {
+	wr.buf = appendEvent(wr.buf[:0], uint64(ev.Delta), ev.Conn, ev.Dir, ev.Frame)
+	_, err := wr.w.Write(wr.buf)
+	return err
+}
+
+// Reader decodes a capture stream. Every decoding failure carries the file
+// offset and event index where it happened: a corrupt or truncated capture
+// fails loudly and locatably, never silently.
+type Reader struct {
+	br  *bufio.Reader
+	off int64 // file offset of the next unread byte
+	n   int   // events decoded so far
+}
+
+// NewReader validates the capture header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("capture: short header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{br: br, off: int64(headerLen)}, nil
+}
+
+// Next returns the next event, or io.EOF at a clean end of capture. A
+// capture that ends mid-event is an error, not an EOF.
+func (rd *Reader) Next() (Event, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(rd.br, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF // clean end between events
+		}
+		return Event{}, fmt.Errorf("capture: truncated length prefix of event %d at offset %d: %w",
+			rd.n, rd.off, err)
+	}
+	bodyLen := binary.BigEndian.Uint32(lenBuf[:])
+	if bodyLen < 3 || bodyLen > maxEventSize {
+		return Event{}, fmt.Errorf("capture: corrupt event %d at offset %d: body length %d out of range [3, %d]",
+			rd.n, rd.off, bodyLen, maxEventSize)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(rd.br, body); err != nil {
+		return Event{}, fmt.Errorf("capture: truncated event %d at offset %d: want %d body bytes: %w",
+			rd.n, rd.off, bodyLen, err)
+	}
+	ev, err := decodeEventBody(body)
+	if err != nil {
+		return Event{}, fmt.Errorf("capture: corrupt event %d at offset %d: %w", rd.n, rd.off, err)
+	}
+	rd.off += int64(4 + bodyLen)
+	rd.n++
+	return ev, nil
+}
+
+// decodeEventBody parses one event body (everything after the length
+// prefix).
+func decodeEventBody(body []byte) (Event, error) {
+	deltaNs, n := binary.Uvarint(body)
+	if n <= 0 {
+		return Event{}, errors.New("bad delta varint")
+	}
+	body = body[n:]
+	conn, n := binary.Uvarint(body)
+	if n <= 0 {
+		return Event{}, errors.New("bad connection-id varint")
+	}
+	body = body[n:]
+	if len(body) < 1 {
+		return Event{}, errors.New("missing direction byte")
+	}
+	dir := Direction(body[0])
+	if !dir.valid() {
+		return Event{}, fmt.Errorf("unknown direction %d", body[0])
+	}
+	ev := Event{Delta: time.Duration(deltaNs), Conn: conn, Dir: dir}
+	if rest := body[1:]; len(rest) > 0 {
+		ev.Frame = rest
+	}
+	return ev, nil
+}
+
+// ReadAll decodes a whole capture stream into memory (replay-sized
+// sessions; soak captures should be streamed with Reader directly).
+func ReadAll(r io.Reader) ([]Event, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+}

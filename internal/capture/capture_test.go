@@ -1,0 +1,227 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"migratorydata/internal/protocol"
+)
+
+// sampleEvents is a small capture worth of events covering every
+// direction.
+func sampleEvents() []Event {
+	frame1 := protocol.Encode(&protocol.Message{
+		Kind:   protocol.KindSubscribe,
+		Topics: []protocol.TopicPosition{{Topic: "alpha"}},
+	})
+	frame2 := protocol.Encode(&protocol.Message{
+		Kind: protocol.KindPublish, Topic: "alpha", ID: "p1",
+		Payload: []byte("payload-1"), Timestamp: 12345,
+	})
+	frame3 := protocol.Encode(&protocol.Message{
+		Kind: protocol.KindNotify, Topic: "alpha", Epoch: 1, Seq: 1,
+		Payload: []byte("payload-1"), Timestamp: 12345,
+	})
+	return []Event{
+		{Delta: 0, Conn: 1, Dir: DirOpen},
+		{Delta: 5 * time.Millisecond, Conn: 1, Dir: DirIn, Frame: frame1},
+		{Delta: 2 * time.Millisecond, Conn: 2, Dir: DirOpen},
+		{Delta: 10 * time.Millisecond, Conn: 2, Dir: DirIn, Frame: frame2},
+		{Delta: time.Millisecond, Conn: 1, Dir: DirOut, Frame: frame3},
+		{Delta: 30 * time.Millisecond, Conn: 2, Dir: DirClose},
+		{Delta: time.Millisecond, Conn: 1, Dir: DirClose},
+	}
+}
+
+// encodeCapture writes events through the low-level Writer.
+func encodeCapture(t *testing.T, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i, ev := range events {
+		if err := w.WriteEvent(ev); err != nil {
+			t.Fatalf("WriteEvent %d: %v", i, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestCaptureWriteReadRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	data := encodeCapture(t, events)
+	got, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i].Delta != events[i].Delta || got[i].Conn != events[i].Conn || got[i].Dir != events[i].Dir {
+			t.Errorf("event %d header: got %+v want %+v", i, got[i], events[i])
+		}
+		if !bytes.Equal(got[i].Frame, events[i].Frame) {
+			t.Errorf("event %d frame mismatch: %d vs %d bytes", i, len(got[i].Frame), len(events[i].Frame))
+		}
+	}
+}
+
+func TestCaptureBadMagic(t *testing.T) {
+	data := encodeCapture(t, sampleEvents())
+	data[0] = 'X'
+	if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	// Unknown version is also a bad header, never a silent misparse.
+	data = encodeCapture(t, sampleEvents())
+	data[5] = 99
+	if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic for unknown version, got %v", err)
+	}
+}
+
+func TestCaptureTruncatedFailsWithOffset(t *testing.T) {
+	data := encodeCapture(t, sampleEvents())
+	// Chop mid-way through the last event's body.
+	truncated := data[:len(data)-3]
+	_, err := ReadAll(bytes.NewReader(truncated))
+	if err == nil {
+		t.Fatal("truncated capture read silently")
+	}
+	if !strings.Contains(err.Error(), "truncated") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("truncation error lacks offset context: %v", err)
+	}
+	// Chop inside a length prefix (between events' worth of bytes).
+	_, err = ReadAll(bytes.NewReader(data[:headerLen+2]))
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("partial length prefix must fail with offset context, got %v", err)
+	}
+}
+
+func TestCaptureCorruptLengthFailsWithOffset(t *testing.T) {
+	data := encodeCapture(t, sampleEvents())
+	// Overwrite the first event's length prefix with an absurd size.
+	binary.BigEndian.PutUint32(data[headerLen:], uint32(maxEventSize+1))
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupt length read silently")
+	}
+	if !strings.Contains(err.Error(), "corrupt event 0") || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("corrupt-length error lacks event/offset context: %v", err)
+	}
+}
+
+func TestCaptureCorruptDirectionFailsWithOffset(t *testing.T) {
+	events := []Event{{Delta: 0, Conn: 7, Dir: DirOpen}}
+	data := encodeCapture(t, events)
+	// The direction byte is the last byte of the only event's body.
+	data[len(data)-1] = 0xEE
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "unknown direction") {
+		t.Fatalf("want unknown-direction error with context, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("direction error lacks offset context: %v", err)
+	}
+}
+
+func TestRecorderWriteBehindAndCanonicalEncode(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	msg := &protocol.Message{
+		Kind: protocol.KindPublish, Topic: "t", ID: "id-1",
+		Payload: []byte("hello"), Timestamp: 42,
+	}
+	rec.RecordOpen(3)
+	rec.RecordIn(3, msg)
+	rec.RecordOut(3, protocol.Encode(&protocol.Message{Kind: protocol.KindPubAck, ID: "id-1"}))
+	rec.RecordClose(3)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("recorded %d events, want 4", len(events))
+	}
+	wantDirs := []Direction{DirOpen, DirIn, DirOut, DirClose}
+	for i, ev := range events {
+		if ev.Dir != wantDirs[i] {
+			t.Errorf("event %d dir = %v, want %v", i, ev.Dir, wantDirs[i])
+		}
+		if ev.Conn != 3 {
+			t.Errorf("event %d conn = %d, want 3", i, ev.Conn)
+		}
+		if ev.Delta < 0 {
+			t.Errorf("event %d has negative delta %v", i, ev.Delta)
+		}
+	}
+	// RecordIn re-encodes with the canonical codec: the recorded frame must
+	// be exactly protocol.Encode(msg).
+	if want := protocol.Encode(msg); !bytes.Equal(events[1].Frame, want) {
+		t.Errorf("RecordIn frame is not the canonical encoding (%d vs %d bytes)",
+			len(events[1].Frame), len(want))
+	}
+	// Recording after Close is a clean no-op.
+	rec.RecordOpen(9)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestRecorderFlushesWithoutClose(t *testing.T) {
+	// A buffer larger than flushBytes must reach the sink without Close —
+	// the write-behind hand-off, not the close-time tail flush.
+	var mu syncBuffer
+	rec, err := NewRecorder(&mu)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	defer rec.Close()
+	frame := make([]byte, 1024)
+	for i := 0; i < 2*flushBytes/len(frame); i++ {
+		rec.RecordOut(1, frame)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for mu.Len() <= headerLen && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if mu.Len() <= headerLen {
+		t.Fatal("write-behind never flushed a full staging buffer")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer (the recorder's writer
+// goroutine races the test's Len polls otherwise).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+var _ io.Writer = (*syncBuffer)(nil)

@@ -1,0 +1,451 @@
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"migratorydata/internal/protocol"
+)
+
+// ReplayConfig drives a capture replay against a candidate build.
+type ReplayConfig struct {
+	// Attach opens the replacement connection for a recorded connection id
+	// (raw protocol framing, like the recorded client). Required.
+	Attach func(conn uint64) (net.Conn, error)
+	// Speed is the time-compression factor: recorded inter-event gaps are
+	// divided by it (10 replays a 10-minute capture in one minute). Zero
+	// or negative means real time (1x).
+	Speed float64
+	// Settle bounds the wait after the last replayed frame for in-flight
+	// deliveries to drain before divergence is computed. Default 3s.
+	Settle time.Duration
+}
+
+// MismatchKind classifies one divergence between the recorded session and
+// its replay.
+type MismatchKind uint8
+
+const (
+	// MismatchCount: a connection received a different number of NOTIFY
+	// frames on a topic than the recorded session did.
+	MismatchCount MismatchKind = iota + 1
+	// MismatchGap: the replay skipped ahead of the recorded (epoch, seq)
+	// sequence — a delivery the recorded session got was lost.
+	MismatchGap
+	// MismatchOrder: the replay delivered a position the recorded session
+	// had already passed — a duplicate or reordering.
+	MismatchOrder
+)
+
+// String returns a short mismatch-kind name.
+func (k MismatchKind) String() string {
+	switch k {
+	case MismatchCount:
+		return "count"
+	case MismatchGap:
+		return "gap"
+	case MismatchOrder:
+		return "order"
+	default:
+		return fmt.Sprintf("mismatch(%d)", uint8(k))
+	}
+}
+
+// Mismatch is one divergence found by the replayer.
+type Mismatch struct {
+	Conn   uint64
+	Topic  string
+	Kind   MismatchKind
+	Detail string
+}
+
+// Report is the outcome of a replay: what was driven, what came back, and
+// every divergence from the recorded session.
+type Report struct {
+	// Connections is the number of recorded connections replayed.
+	Connections int
+	// FramesSent counts the inbound (client → server) frames replayed.
+	FramesSent int
+	// ExpectedNotifies counts the NOTIFY frames the recorded session
+	// delivered (the replay's target).
+	ExpectedNotifies int
+	// GotNotifies counts the NOTIFY frames the replay received.
+	GotNotifies int
+	// Mismatches lists every divergence; empty means the replay matched
+	// the recording exactly.
+	Mismatches []Mismatch
+}
+
+// Clean reports a divergence-free replay.
+func (r *Report) Clean() bool { return len(r.Mismatches) == 0 }
+
+// String summarizes the report for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d connections, %d frames; notifies: %d recorded, %d replayed; %d mismatches",
+		r.Connections, r.FramesSent, r.ExpectedNotifies, r.GotNotifies, len(r.Mismatches))
+	for i := range r.Mismatches {
+		m := &r.Mismatches[i]
+		fmt.Fprintf(&b, "\n  conn %d topic %q [%s]: %s", m.Conn, m.Topic, m.Kind, m.Detail)
+	}
+	return b.String()
+}
+
+// notifyPos is one delivered position in a topic's (epoch, seq) order.
+type notifyPos struct {
+	epoch uint32
+	seq   uint64
+}
+
+// replayConn is the live replacement for one recorded connection.
+type replayConn struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	got    map[string][]notifyPos
+	total  int
+	frames int // every decoded frame (acks included) — the barrier currency
+	done   bool
+
+	wg sync.WaitGroup
+}
+
+// readLoop consumes the server side of the replayed connection, recording
+// every NOTIFY position per topic.
+func (rc *replayConn) readLoop() {
+	defer rc.wg.Done()
+	defer func() {
+		rc.mu.Lock()
+		rc.done = true
+		rc.mu.Unlock()
+	}()
+	dec := protocol.StreamDecoder{PoolMessages: true, PoolPayloads: true}
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := rc.conn.Read(buf)
+		if n > 0 {
+			dec.Feed(buf[:n])
+			for {
+				m, derr := dec.Next()
+				if derr != nil || m == nil {
+					break
+				}
+				rc.mu.Lock()
+				rc.frames++
+				if m.Kind == protocol.KindNotify {
+					rc.got[m.Topic] = append(rc.got[m.Topic], notifyPos{epoch: m.Epoch, seq: m.Seq})
+					rc.total++
+				}
+				rc.mu.Unlock()
+				protocol.ReleaseMessage(m)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// progress returns the all-kinds frame count and whether the read loop has
+// exited (connection closed — no further frames will arrive).
+func (rc *replayConn) progress() (frames int, done bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.frames, rc.done
+}
+
+// counts returns the per-topic received counts and the total.
+func (rc *replayConn) counts() (map[string]int, int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make(map[string]int, len(rc.got))
+	for t, ps := range rc.got {
+		out[t] = len(ps)
+	}
+	return out, rc.total
+}
+
+// ReplayFile replays a capture file; see Replay.
+func ReplayFile(path string, cfg ReplayConfig) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(events, cfg)
+}
+
+// Replay replays the client side of a capture against a candidate build:
+// connections are opened in recorded order, inbound frames are written
+// with the recorded inter-event gaps compressed by cfg.Speed, and
+// per-connection ordering is preserved exactly (the event list is driven
+// by a single goroutine in file order).
+//
+// Recorded outbound frames double as causality barriers: a DirOut that
+// precedes a DirIn in the capture proves the original server had finished
+// processing the earlier inputs (emitting that SUBACK or NOTIFY) before it
+// ingested the later one. The replayer re-enforces that ordering — before
+// writing an inbound frame it waits until every previously recorded
+// outbound frame has been received on its replacement connection, and
+// before closing a connection it waits for that connection's recorded
+// deliveries to drain. Without the barriers, time compression shrinks the
+// window between a SUBSCRIBE on one connection and a PUBLISH on another
+// below the server's cross-connection ingest jitter, and a faithful replay
+// would diverge spuriously. A connection that stops making progress toward
+// its barrier (a real divergence) is waived after cfg.Settle so the replay
+// still completes and reports the divergence instead of deadlocking.
+//
+// Recorded outbound NOTIFY frames become the delivery expectation; after
+// the replay settles, the received (epoch, seq) sequences are compared per
+// connection per topic and every divergence is reported.
+func Replay(events []Event, cfg ReplayConfig) (*Report, error) {
+	if cfg.Attach == nil {
+		return nil, errors.New("capture: ReplayConfig.Attach is required")
+	}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	settle := cfg.Settle
+	if settle <= 0 {
+		settle = 3 * time.Second
+	}
+
+	// Pre-scan: the recorded deliveries each connection must see again.
+	expected := make(map[uint64]map[string][]notifyPos)
+	expectedTotal := 0
+	var openOrder []uint64
+	for _, ev := range events {
+		switch ev.Dir {
+		case DirOpen:
+			openOrder = append(openOrder, ev.Conn)
+		case DirOut:
+			if len(ev.Frame) <= 4 {
+				continue
+			}
+			m, err := protocol.DecodeBody(ev.Frame[4:])
+			if err != nil || m.Kind != protocol.KindNotify {
+				continue
+			}
+			byTopic := expected[ev.Conn]
+			if byTopic == nil {
+				byTopic = make(map[string][]notifyPos)
+				expected[ev.Conn] = byTopic
+			}
+			byTopic[m.Topic] = append(byTopic[m.Topic], notifyPos{epoch: m.Epoch, seq: m.Seq})
+			expectedTotal++
+		}
+	}
+
+	rep := &Report{ExpectedNotifies: expectedTotal}
+	conns := make(map[uint64]*replayConn)
+	defer func() {
+		for _, rc := range conns {
+			rc.conn.Close()
+			rc.wg.Wait()
+		}
+	}()
+
+	open := func(id uint64) (*replayConn, error) {
+		c, err := cfg.Attach(id)
+		if err != nil {
+			return nil, fmt.Errorf("capture: attach replacement for conn %d: %w", id, err)
+		}
+		rc := &replayConn{conn: c, got: make(map[string][]notifyPos)}
+		rc.wg.Add(1)
+		go rc.readLoop()
+		conns[id] = rc
+		rep.Connections++
+		return rc, nil
+	}
+
+	// Drive the events in file order on absolute deadlines, so scheduling
+	// jitter never accumulates across a long capture. outSoFar counts the
+	// recorded outbound frames per connection up to the current event; the
+	// barriers below hold inbound writes (and closes) until the replay has
+	// caught up with it. waived marks connections whose barrier timed out
+	// (a real divergence, reported by the final comparison).
+	outSoFar := make(map[uint64]int)
+	waived := make(map[uint64]bool)
+	barrier := func(id uint64) {
+		if waived[id] {
+			return
+		}
+		rc := conns[id]
+		if rc == nil {
+			return // mid-session capture: nothing attached to observe
+		}
+		deadline := time.Now().Add(settle)
+		for {
+			frames, done := rc.progress()
+			if frames >= outSoFar[id] || done {
+				return
+			}
+			if time.Now().After(deadline) {
+				waived[id] = true
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	start := time.Now()
+	var cum time.Duration
+	for i, ev := range events {
+		cum += ev.Delta
+		target := start.Add(time.Duration(float64(cum) / speed))
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		switch ev.Dir {
+		case DirOpen:
+			if conns[ev.Conn] == nil {
+				if _, err := open(ev.Conn); err != nil {
+					return rep, err
+				}
+			}
+		case DirOut:
+			outSoFar[ev.Conn]++
+		case DirIn:
+			rc := conns[ev.Conn]
+			if rc == nil {
+				// A capture started mid-session has no open event; attach
+				// on first use.
+				var err error
+				if rc, err = open(ev.Conn); err != nil {
+					return rep, err
+				}
+			}
+			for id := range outSoFar {
+				barrier(id)
+			}
+			if _, err := rc.conn.Write(ev.Frame); err != nil {
+				return rep, fmt.Errorf("capture: replay event %d (conn %d): write: %w", i, ev.Conn, err)
+			}
+			rep.FramesSent++
+		case DirClose:
+			if rc := conns[ev.Conn]; rc != nil {
+				barrier(ev.Conn)
+				rc.conn.Close()
+			}
+		}
+	}
+
+	waitSettled(conns, expected, settle)
+
+	// Compare recorded vs replayed (epoch, seq) sequences per connection
+	// per topic, in deterministic order.
+	connIDs := make([]uint64, 0, len(expected))
+	for id := range expected {
+		connIDs = append(connIDs, id)
+	}
+	sort.Slice(connIDs, func(i, j int) bool { return connIDs[i] < connIDs[j] })
+	for _, id := range connIDs {
+		rc := conns[id]
+		var got map[string][]notifyPos
+		if rc != nil {
+			rc.mu.Lock()
+			got = rc.got
+			// The read loops are done (connections closed in the deferred
+			// cleanup only; here they may still run) — copy under the lock.
+			gotCopy := make(map[string][]notifyPos, len(got))
+			for t, ps := range got {
+				gotCopy[t] = append([]notifyPos(nil), ps...)
+			}
+			rc.mu.Unlock()
+			got = gotCopy
+		}
+		compareConn(rep, id, expected[id], got)
+	}
+	for _, rc := range conns {
+		_, n := rc.counts()
+		rep.GotNotifies += n
+	}
+	return rep, nil
+}
+
+// waitSettled polls until every connection has received at least its
+// recorded delivery count on every topic, or the settle deadline passes.
+func waitSettled(conns map[uint64]*replayConn, expected map[uint64]map[string][]notifyPos, settle time.Duration) {
+	deadline := time.Now().Add(settle)
+	for time.Now().Before(deadline) {
+		settled := true
+		for id, byTopic := range expected {
+			rc := conns[id]
+			if rc == nil {
+				settled = false
+				break
+			}
+			counts, _ := rc.counts()
+			for t, ps := range byTopic {
+				if counts[t] < len(ps) {
+					settled = false
+					break
+				}
+			}
+			if !settled {
+				break
+			}
+		}
+		if settled {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// compareConn reports every divergence between one connection's recorded
+// and replayed delivery sequences.
+func compareConn(rep *Report, conn uint64, exp, got map[string][]notifyPos) {
+	topics := make([]string, 0, len(exp)+len(got))
+	seen := make(map[string]bool, len(exp)+len(got))
+	for t := range exp {
+		topics = append(topics, t)
+		seen[t] = true
+	}
+	for t := range got {
+		if !seen[t] {
+			topics = append(topics, t)
+		}
+	}
+	sort.Strings(topics)
+	for _, t := range topics {
+		e, g := exp[t], got[t]
+		n := len(e)
+		if len(g) < n {
+			n = len(g)
+		}
+		diverged := false
+		for i := 0; i < n; i++ {
+			if e[i] == g[i] {
+				continue
+			}
+			kind := MismatchOrder
+			if g[i].epoch > e[i].epoch || (g[i].epoch == e[i].epoch && g[i].seq > e[i].seq) {
+				kind = MismatchGap
+			}
+			rep.Mismatches = append(rep.Mismatches, Mismatch{
+				Conn: conn, Topic: t, Kind: kind,
+				Detail: fmt.Sprintf("index %d: recorded (epoch %d, seq %d), replayed (epoch %d, seq %d)",
+					i, e[i].epoch, e[i].seq, g[i].epoch, g[i].seq),
+			})
+			diverged = true
+			break // one positional mismatch per topic keeps the report readable
+		}
+		if !diverged && len(e) != len(g) {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{
+				Conn: conn, Topic: t, Kind: MismatchCount,
+				Detail: fmt.Sprintf("recorded %d notifies, replayed %d", len(e), len(g)),
+			})
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package capture_test
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"migratorydata/internal/capture"
+	"migratorydata/internal/core"
+	"migratorydata/internal/loadgen"
+	"migratorydata/internal/protocol"
+)
+
+// recordSession drives a small multi-connection session against a
+// recorded engine: two subscribers on different topics and one publisher
+// alternating between them, with real inter-event gaps. Returns the
+// capture bytes.
+func recordSession(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec, err := capture.NewRecorder(&buf)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	e := core.New(core.Config{ServerID: "recorded", Recorder: rec})
+	attach := loadgen.SingleEngineAttach(e, 1<<16)
+	dial := func() net.Conn {
+		c, err := attach(0)
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		return c
+	}
+
+	subA := dial() // conn 1: subscribes alpha
+	writeFrame(t, subA, &protocol.Message{
+		Kind:   protocol.KindSubscribe,
+		Topics: []protocol.TopicPosition{{Topic: "alpha"}},
+	})
+	time.Sleep(30 * time.Millisecond)
+
+	subB := dial() // conn 2: subscribes beta
+	writeFrame(t, subB, &protocol.Message{
+		Kind:   protocol.KindSubscribe,
+		Topics: []protocol.TopicPosition{{Topic: "beta"}},
+	})
+	time.Sleep(30 * time.Millisecond)
+
+	pub := dial() // conn 3: publishes, never subscribes
+	topics := []string{"alpha", "beta"}
+	for i := 0; i < 6; i++ {
+		writeFrame(t, pub, &protocol.Message{
+			Kind:    protocol.KindPublish,
+			Topic:   topics[i%2],
+			ID:      "m" + string(rune('0'+i)),
+			Payload: []byte("round-trip-payload"),
+		})
+		time.Sleep(25 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let deliveries stage and record
+
+	subA.Close()
+	subB.Close()
+	pub.Close()
+	if err := e.Close(); err != nil {
+		t.Fatalf("engine close: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("recorder close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func writeFrame(t *testing.T, conn net.Conn, m *protocol.Message) {
+	t.Helper()
+	if _, err := conn.Write(protocol.Encode(m)); err != nil {
+		t.Fatalf("write %v frame: %v", m.Kind, err)
+	}
+}
+
+// inFramesByOpenOrder collects each connection's inbound frame sequence,
+// keyed by the order its open event appears in the capture — connection
+// ids differ between a recording and its replay's re-recording, open
+// order does not.
+func inFramesByOpenOrder(t *testing.T, events []capture.Event) [][][]byte {
+	t.Helper()
+	orderOf := make(map[uint64]int)
+	var out [][][]byte
+	for _, ev := range events {
+		switch ev.Dir {
+		case capture.DirOpen:
+			orderOf[ev.Conn] = len(out)
+			out = append(out, nil)
+		case capture.DirIn:
+			idx, ok := orderOf[ev.Conn]
+			if !ok {
+				t.Fatalf("in-event for conn %d before its open event", ev.Conn)
+			}
+			frame := append([]byte(nil), ev.Frame...)
+			out[idx] = append(out[idx], frame)
+		}
+	}
+	return out
+}
+
+// replayAgainstFreshEngine replays events at the given speed against a new
+// engine that is itself recorded, returning the divergence report and the
+// re-recorded capture.
+func replayAgainstFreshEngine(t *testing.T, events []capture.Event, speed float64) (*capture.Report, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec, err := capture.NewRecorder(&buf)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	e := core.New(core.Config{ServerID: "candidate", Recorder: rec})
+	attach := loadgen.SingleEngineAttach(e, 1<<16)
+	rep, err := capture.Replay(events, capture.ReplayConfig{
+		Attach: func(conn uint64) (net.Conn, error) { return attach(int(conn)) },
+		Speed:  speed,
+		Settle: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Replay at %gx: %v", speed, err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("candidate engine close: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("candidate recorder close: %v", err)
+	}
+	return rep, buf.Bytes()
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	data := recordSession(t)
+	events, err := capture.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+
+	// Sanity: the capture holds the session's shape.
+	var opens, ins, outs, notifies int
+	for _, ev := range events {
+		switch ev.Dir {
+		case capture.DirOpen:
+			opens++
+		case capture.DirIn:
+			ins++
+		case capture.DirOut:
+			outs++
+			if len(ev.Frame) > 4 {
+				if m, err := protocol.DecodeBody(ev.Frame[4:]); err == nil && m.Kind == protocol.KindNotify {
+					notifies++
+				}
+			}
+		}
+	}
+	if opens != 3 {
+		t.Fatalf("recorded %d opens, want 3", opens)
+	}
+	if ins != 8 { // 2 subscribes + 6 publishes
+		t.Fatalf("recorded %d in-frames, want 8", ins)
+	}
+	if notifies != 6 { // each publish notifies exactly one subscriber
+		t.Fatalf("recorded %d notify out-frames, want 6 (of %d out-frames)", notifies, outs)
+	}
+
+	recordedIn := inFramesByOpenOrder(t, events)
+	for _, speed := range []float64{1, 10} {
+		rep, reRecorded := replayAgainstFreshEngine(t, events, speed)
+		if !rep.Clean() {
+			t.Fatalf("replay at %gx diverged:\n%s", speed, rep)
+		}
+		if rep.FramesSent != ins {
+			t.Errorf("replay at %gx sent %d frames, want %d", speed, rep.FramesSent, ins)
+		}
+		if rep.GotNotifies != rep.ExpectedNotifies {
+			t.Errorf("replay at %gx: %d notifies, recorded session had %d",
+				speed, rep.GotNotifies, rep.ExpectedNotifies)
+		}
+
+		// The bit-identical check: the candidate engine's own recording
+		// must contain, per connection (in open order), exactly the frame
+		// bytes of the original capture — RecordIn's canonical re-encode
+		// makes this byte-exact, not just semantically equal.
+		reEvents, err := capture.ReadAll(bytes.NewReader(reRecorded))
+		if err != nil {
+			t.Fatalf("re-recorded capture at %gx unreadable: %v", speed, err)
+		}
+		replayedIn := inFramesByOpenOrder(t, reEvents)
+		if len(replayedIn) != len(recordedIn) {
+			t.Fatalf("replay at %gx re-recorded %d connections, want %d",
+				speed, len(replayedIn), len(recordedIn))
+		}
+		for ci := range recordedIn {
+			if len(replayedIn[ci]) != len(recordedIn[ci]) {
+				t.Errorf("replay at %gx conn #%d: %d in-frames, want %d",
+					speed, ci, len(replayedIn[ci]), len(recordedIn[ci]))
+				continue
+			}
+			for fi := range recordedIn[ci] {
+				if !bytes.Equal(replayedIn[ci][fi], recordedIn[ci][fi]) {
+					t.Errorf("replay at %gx conn #%d frame %d not bit-identical", speed, ci, fi)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayReportsDivergence(t *testing.T) {
+	data := recordSession(t)
+	events, err := capture.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	// Fabricate an extra recorded delivery the replay cannot reproduce: the
+	// report must call it out, not stay silent.
+	var target uint64
+	for _, ev := range events {
+		if ev.Dir == capture.DirOpen {
+			target = ev.Conn
+			break
+		}
+	}
+	phantom := protocol.Encode(&protocol.Message{
+		Kind: protocol.KindNotify, Topic: "alpha", Epoch: 1, Seq: 999,
+		Payload: []byte("never-happened"),
+	})
+	events = append(events, capture.Event{Conn: target, Dir: capture.DirOut, Frame: phantom})
+
+	e := core.New(core.Config{ServerID: "divergence"})
+	defer e.Close()
+	attach := loadgen.SingleEngineAttach(e, 1<<16)
+	rep, err := capture.Replay(events, capture.ReplayConfig{
+		Attach: func(conn uint64) (net.Conn, error) { return attach(int(conn)) },
+		Speed:  10,
+		Settle: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Clean() {
+		t.Fatal("replay with a phantom recorded delivery reported zero divergence")
+	}
+}
+
+func TestReplayFileRejectsCorruptCapture(t *testing.T) {
+	data := recordSession(t)
+	dir := t.TempDir()
+	path := dir + "/session.mdcap"
+	// Truncate mid-event on disk; ReplayFile must fail loudly with offset
+	// context before ever attaching a connection.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatalf("write truncated capture: %v", err)
+	}
+	_, err := capture.ReplayFile(path, capture.ReplayConfig{
+		Attach: func(conn uint64) (net.Conn, error) {
+			t.Fatal("corrupt capture must not attach connections")
+			return nil, nil
+		},
+	})
+	if err == nil {
+		t.Fatal("ReplayFile accepted a truncated capture")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("truncation error lacks offset context: %v", err)
+	}
+}

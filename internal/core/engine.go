@@ -13,6 +13,7 @@ import (
 
 	"migratorydata/internal/batch"
 	"migratorydata/internal/cache"
+	"migratorydata/internal/capture"
 	"migratorydata/internal/metrics"
 	"migratorydata/internal/protocol"
 	"migratorydata/internal/websocket"
@@ -84,6 +85,13 @@ type Config struct {
 	// Pause optionally injects stop-the-world pauses into the Worker loop
 	// (GC ablation experiment).
 	Pause *metrics.PauseInjector
+	// Recorder, when non-nil, taps every client connection for the
+	// capture/replay pipeline (internal/capture): connection opens and
+	// closes, every decoded inbound frame, and every outbound frame are
+	// recorded with monotonic timestamps. The default (nil) costs the hot
+	// path one predictable nil-check branch per frame — no fmt, no maps,
+	// no closures on the publish spine.
+	Recorder *capture.Recorder
 	// Logger receives debug events. Default: discard.
 	Logger *slog.Logger
 }
@@ -151,6 +159,7 @@ type Engine struct {
 	subIndex  *subIndex
 	publishFn PublishFunc
 	logger    *slog.Logger
+	recorder  *capture.Recorder
 
 	// Overload protection, precomputed from cfg (see pressure.go).
 	protect            bool
@@ -193,6 +202,7 @@ func New(cfg Config) *Engine {
 		subIndex: newSubIndex(cfg.TopicGroups, cfg.Workers),
 		clients:  make(map[uint64]*Client),
 		logger:   cfg.Logger,
+		recorder: cfg.Recorder,
 		tickStop: make(chan struct{}),
 	}
 	e.protect = cfg.EgressBudgetBytes > 0
@@ -360,6 +370,11 @@ func (e *Engine) Attach(framed Framed) (*Client, error) {
 	e.clients[id] = c
 	e.mu.Unlock()
 	e.stats.connects.Inc()
+	if e.recorder != nil {
+		// Recorded before the read loop starts, so a connection's open
+		// event always precedes its first inbound frame in the capture.
+		e.recorder.RecordOpen(id)
+	}
 
 	e.wg.Add(1)
 	go e.readLoop(c)

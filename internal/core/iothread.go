@@ -184,6 +184,11 @@ func (t *ioThread) handleBytes(c *Client, data []byte) {
 		if m == nil {
 			return
 		}
+		if rec := t.engine.recorder; rec != nil {
+			// Tap before the worker push: Push transfers ownership of the
+			// pooled message, so this is the last point m is safely readable.
+			rec.RecordIn(c.id, m)
+		}
 		if !c.worker.in.Push(workerEvent{kind: weClientMsg, c: c, msg: m}) {
 			// The worker queue only rejects after Close (engine shutdown
 			// racing the read path). The decoder's messages and payloads are
@@ -231,6 +236,13 @@ func (t *ioThread) handleWriteMulti(ev *ioEvent) {
 // still blocked, the frame diverts into the bounded backlog under the
 // client's current pressure tier.
 func (t *ioThread) batchFrame(c *Client, frame []byte, topic string, droppable bool, now time.Time) {
+	if rec := t.engine.recorder; rec != nil {
+		// Every outbound frame passes through here exactly once, before
+		// batching or a pressure-backlog divert can coalesce or drop it —
+		// the capture records what the engine *staged*, which is what a
+		// replay must reproduce.
+		rec.RecordOut(c.id, frame)
+	}
 	if t.engine.protect && c.egressBlocked() {
 		t.recoverEgress(c, now)
 		if c.closed.Load() {
@@ -521,6 +533,9 @@ func (t *ioThread) write(c *Client, out []byte, frames int64) bool {
 func (t *ioThread) teardown(c *Client) {
 	if c.closed.Swap(true) {
 		return
+	}
+	if rec := t.engine.recorder; rec != nil {
+		rec.RecordClose(c.id)
 	}
 	delete(t.pendingFlush, c)
 	t.unmarkStalled(c)

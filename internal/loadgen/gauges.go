@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+
+	"migratorydata/internal/core"
+)
+
+// GaugeMaxima are the maximum observed values of the engine's
+// staged-egress gauges over a scenario window.
+type GaugeMaxima struct {
+	EgressQueueBytes  int64
+	SlowConsumerBytes int64
+	SlowConsumers     int64
+}
+
+// observe folds one stats snapshot into the maxima.
+func (g *GaugeMaxima) observe(st core.Stats) {
+	if st.EgressQueueBytes > g.EgressQueueBytes {
+		g.EgressQueueBytes = st.EgressQueueBytes
+	}
+	if st.SlowConsumerBytes > g.SlowConsumerBytes {
+		g.SlowConsumerBytes = st.SlowConsumerBytes
+	}
+	if st.SlowConsumers > g.SlowConsumers {
+		g.SlowConsumers = st.SlowConsumers
+	}
+}
+
+// GaugeSampler tracks engine-gauge maxima over a scenario window by
+// sampling on a coarse background ticker AND at scenario-event boundaries
+// via SampleNow. The ticker alone misses short spikes that rise and fall
+// between two ticks — exactly what a stall onset or a mass resubscribe
+// produces — so every harness that injects an event samples explicitly at
+// the boundary that caused it.
+type GaugeSampler struct {
+	get func() core.Stats
+
+	mu  sync.Mutex
+	max GaugeMaxima
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartGaugeSampler takes one immediate sample and then samples every
+// `every` until Stop.
+func StartGaugeSampler(get func() core.Stats, every time.Duration) *GaugeSampler {
+	if every <= 0 {
+		every = 20 * time.Millisecond
+	}
+	s := &GaugeSampler{
+		get:  get,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.SampleNow()
+	go s.loop(every)
+	return s
+}
+
+// loop is the background ticker sampler.
+func (s *GaugeSampler) loop(every time.Duration) {
+	defer close(s.done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.SampleNow()
+		}
+	}
+}
+
+// SampleNow takes one sample immediately — the event-boundary hook.
+func (s *GaugeSampler) SampleNow() {
+	st := s.get()
+	s.mu.Lock()
+	s.max.observe(st)
+	s.mu.Unlock()
+}
+
+// Maxima returns the maxima observed so far.
+func (s *GaugeSampler) Maxima() GaugeMaxima {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Stop takes one final sample (the window-close boundary), stops the
+// ticker, and returns the maxima.
+func (s *GaugeSampler) Stop() GaugeMaxima {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	s.SampleNow()
+	return s.Maxima()
+}

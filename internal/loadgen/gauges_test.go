@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"migratorydata/internal/core"
+)
+
+// spikeStats serves a gauge spike for exactly one read window: callers see
+// the spike only if they sample while it is raised. This models a stall
+// onset that saturates transports and drains again between two coarse
+// ticker samples.
+type spikeStats struct {
+	mu     sync.Mutex
+	spiked bool
+}
+
+func (s *spikeStats) raise() {
+	s.mu.Lock()
+	s.spiked = true
+	s.mu.Unlock()
+}
+
+func (s *spikeStats) clear() {
+	s.mu.Lock()
+	s.spiked = false
+	s.mu.Unlock()
+}
+
+func (s *spikeStats) get() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spiked {
+		return core.Stats{
+			EgressQueueBytes:  1 << 20,
+			SlowConsumerBytes: 512 << 10,
+			SlowConsumers:     7,
+		}
+	}
+	return core.Stats{EgressQueueBytes: 128}
+}
+
+// TestGaugeSamplerCatchesOneTickSpike is the regression test for the
+// coarse-ticker maxima bug: a spike that rises and falls entirely between
+// two ticker samples used to be invisible to the maxima. The fix samples
+// at scenario-event boundaries too — the harness calls SampleNow when it
+// injects the event that causes the spike.
+func TestGaugeSamplerCatchesOneTickSpike(t *testing.T) {
+	st := &spikeStats{}
+	// An hour-long tick interval guarantees the background ticker can never
+	// observe the spike; only the boundary sample can.
+	s := StartGaugeSampler(st.get, time.Hour)
+
+	if got := s.Maxima(); got.EgressQueueBytes != 128 {
+		t.Fatalf("startup sample saw EgressQueueBytes=%d, want 128", got.EgressQueueBytes)
+	}
+
+	// The scenario injects its event (e.g. stalls K readers), the gauges
+	// spike, the harness samples at the boundary, and the spike drains.
+	st.raise()
+	s.SampleNow()
+	st.clear()
+
+	max := s.Stop()
+	if max.EgressQueueBytes != 1<<20 {
+		t.Errorf("spike EgressQueueBytes=%d not captured, want %d", max.EgressQueueBytes, 1<<20)
+	}
+	if max.SlowConsumerBytes != 512<<10 {
+		t.Errorf("spike SlowConsumerBytes=%d not captured, want %d", max.SlowConsumerBytes, 512<<10)
+	}
+	if max.SlowConsumers != 7 {
+		t.Errorf("spike SlowConsumers=%d not captured, want 7", max.SlowConsumers)
+	}
+}
+
+// TestGaugeSamplerTickerPath verifies the background ticker still samples
+// on its own when no boundary events fire.
+func TestGaugeSamplerTickerPath(t *testing.T) {
+	st := &spikeStats{}
+	s := StartGaugeSampler(st.get, time.Millisecond)
+	st.raise()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Maxima().SlowConsumers != 7 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st.clear()
+	if max := s.Stop(); max.SlowConsumers != 7 {
+		t.Fatalf("ticker never sampled the raised gauges: %+v", max)
+	}
+}
+
+// TestGaugeSamplerStopIdempotent: Stop twice must not panic or deadlock.
+func TestGaugeSamplerStopIdempotent(t *testing.T) {
+	st := &spikeStats{}
+	s := StartGaugeSampler(st.get, time.Millisecond)
+	s.Stop()
+	s.Stop()
+}

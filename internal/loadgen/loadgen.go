@@ -57,20 +57,31 @@ type SubConfig struct {
 	// ReconnectWaitMax bounds the random reconnect wait that scatters the
 	// herd after a server failure. Default 100ms.
 	ReconnectWaitMax time.Duration
+	// DeferSubscribe connects the fleet without subscribing; a later
+	// SubscribeAll subscribes every connection at once — the flash-crowd
+	// shape (everyone piles onto a hot topic simultaneously).
+	DeferSubscribe bool
+	// Droppable marks topics whose deliveries the engine's overload policy
+	// may legally conflate or drop (core.ClassConflatable). Sequence gaps
+	// observed on such topics are accounted separately (DroppableGaps) and
+	// do not violate the reliable-class zero-gap invariant. nil treats
+	// every topic as reliable.
+	Droppable func(topic string) bool
 	// Seed fixes the reconnect jitter.
 	Seed int64
 }
 
 // subConn is the per-connection subscriber state machine.
 type subConn struct {
-	idx      int
-	topic    string
-	epoch    uint32
-	seq      uint64
-	conn     net.Conn
-	mu       sync.Mutex   // guards conn swap during failover
-	received atomic.Int64 // notifications observed on this connection
-	stalled  atomic.Bool  // reader paused (slow-consumer scenarios)
+	idx       int
+	topic     string
+	droppable bool // topic is conflatable-class: gaps are legal under pressure
+	epoch     uint32
+	seq       uint64
+	conn      net.Conn
+	mu        sync.Mutex   // guards conn swap during failover
+	received  atomic.Int64 // notifications observed on this connection
+	stalled   atomic.Bool  // reader paused (slow-consumer scenarios)
 }
 
 // Benchsub is a fleet of subscriber connections.
@@ -79,10 +90,12 @@ type Benchsub struct {
 	subs       []*subConn
 	wg         sync.WaitGroup
 	recording  atomic.Bool
+	subscribed atomic.Bool // false until SubscribeAll in DeferSubscribe mode
 	received   atomic.Int64
 	recovered  atomic.Int64 // retransmitted messages received after failover
 	reconnects atomic.Int64
-	gaps       atomic.Int64 // sequence gaps observed (must stay 0)
+	gaps       atomic.Int64 // reliable-class sequence gaps (must stay 0)
+	dropGaps   atomic.Int64 // gaps on droppable-class topics (pressure policy)
 	duplicates atomic.Int64 // re-deliveries dropped (allowed, §3)
 	errors     atomic.Int64
 	closed     atomic.Bool
@@ -106,8 +119,13 @@ func StartBenchsub(cfg SubConfig) (*Benchsub, error) {
 		cfg.ReconnectWaitMax = 100 * time.Millisecond
 	}
 	b := &Benchsub{cfg: cfg}
+	b.subscribed.Store(!cfg.DeferSubscribe)
 	for i := 0; i < cfg.Connections; i++ {
-		sc := &subConn{idx: i, topic: cfg.Topics[i%len(cfg.Topics)]}
+		topic := cfg.Topics[i%len(cfg.Topics)]
+		sc := &subConn{idx: i, topic: topic}
+		if cfg.Droppable != nil {
+			sc.droppable = cfg.Droppable(topic)
+		}
 		if err := b.connect(sc); err != nil {
 			b.Close()
 			return nil, fmt.Errorf("loadgen: attach %d: %w", i, err)
@@ -120,26 +138,89 @@ func StartBenchsub(cfg SubConfig) (*Benchsub, error) {
 }
 
 // connect (re)establishes sc's connection and subscribes with its resume
-// position.
+// position (unless subscriptions are deferred and SubscribeAll has not
+// fired yet).
 func (b *Benchsub) connect(sc *subConn) error {
 	conn, err := b.cfg.Attach(sc.idx)
 	if err != nil {
 		return err
 	}
+	if b.subscribed.Load() {
+		if err := subscribeConn(conn, sc); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	sc.mu.Lock()
+	sc.conn = conn
+	sc.mu.Unlock()
+	return nil
+}
+
+// subscribeConn writes sc's subscription (with its resume position) on conn.
+func subscribeConn(conn net.Conn, sc *subConn) error {
 	sub := protocol.Encode(&protocol.Message{
 		Kind: protocol.KindSubscribe,
 		Topics: []protocol.TopicPosition{
 			{Topic: sc.topic, Epoch: sc.epoch, Seq: sc.seq},
 		},
 	})
-	if _, err := conn.Write(sub); err != nil {
-		conn.Close()
-		return err
+	_, err := conn.Write(sub)
+	return err
+}
+
+// SubscribeAll subscribes every connection at once — the flash-crowd
+// trigger for a fleet started with DeferSubscribe. Connections whose
+// subscribe write fails are left to their read loops (which observe the
+// failure and, with Failover, reconnect — by then subscribed is set, so
+// the reconnect subscribes). Idempotent.
+func (b *Benchsub) SubscribeAll() {
+	if b.subscribed.Swap(true) {
+		return
 	}
+	for _, sc := range b.subs {
+		sc.mu.Lock()
+		conn := sc.conn
+		sc.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		if err := subscribeConn(conn, sc); err != nil {
+			conn.Close()
+		}
+	}
+}
+
+// DropConnection force-closes subscriber i's current connection from the
+// client side — the server observes an abrupt connection failure. With
+// Failover enabled the subscriber reconnects via Attach and resumes from
+// its last (epoch, seq) position: the reconnect-storm and churn building
+// block. Reports whether a live connection was closed.
+func (b *Benchsub) DropConnection(i int) bool {
+	if i < 0 || i >= len(b.subs) {
+		return false
+	}
+	sc := b.subs[i]
 	sc.mu.Lock()
-	sc.conn = conn
+	conn := sc.conn
 	sc.mu.Unlock()
-	return nil
+	if conn == nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+// DropConnections drops the first n subscriber connections at once (a mass
+// disconnection event). Returns how many live connections were closed.
+func (b *Benchsub) DropConnections(n int) int {
+	dropped := 0
+	for i := 0; i < n && i < len(b.subs); i++ {
+		if b.DropConnection(i) {
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // run drives one subscriber connection, reconnecting on failure when
@@ -234,7 +315,13 @@ func (b *Benchsub) observe(sc *subConn, m *protocol.Message) {
 		return
 	}
 	if m.Epoch == sc.epoch && sc.seq != 0 && m.Seq > sc.seq+1 {
-		b.gaps.Add(1)
+		if sc.droppable {
+			// Conflation/eviction on a droppable-class topic surfaces as a
+			// forward skip; that is the pressure policy working, not a loss.
+			b.dropGaps.Add(1)
+		} else {
+			b.gaps.Add(1)
+		}
 	}
 	sc.epoch, sc.seq = m.Epoch, m.Seq
 
@@ -273,6 +360,22 @@ func (b *Benchsub) StallReaders(n int) {
 	}
 }
 
+// StallReadersMatching stalls up to n readers whose subscribed topic
+// satisfies pred, scanning from the end of the fleet (mirroring
+// StallReaders). Returns how many were stalled. Mixed-class scenarios use
+// it to stall only conflatable-topic readers, so drops stay within the
+// droppable class.
+func (b *Benchsub) StallReadersMatching(n int, pred func(topic string) bool) int {
+	stalled := 0
+	for i := len(b.subs) - 1; i >= 0 && stalled < n; i-- {
+		if pred(b.subs[i].topic) {
+			b.subs[i].stalled.Store(true)
+			stalled++
+		}
+	}
+	return stalled
+}
+
 // ReceivedFast reports the notifications consumed by connections that are
 // NOT stalled — the fast-subscriber delivery count of a slow-consumer run.
 func (b *Benchsub) ReceivedFast() int64 {
@@ -292,9 +395,15 @@ func (b *Benchsub) Recovered() int64 { return b.recovered.Load() }
 // Reconnects reports how many failovers completed.
 func (b *Benchsub) Reconnects() int64 { return b.reconnects.Load() }
 
-// Gaps reports observed per-topic ordering/completeness violations; the
-// delivery guarantees require this to be zero.
+// Gaps reports observed per-topic completeness violations on
+// reliable-class topics; the delivery guarantees require this to be zero.
 func (b *Benchsub) Gaps() int64 { return b.gaps.Load() }
+
+// DroppableGaps reports forward skips observed on droppable-class topics
+// (see SubConfig.Droppable) — deliveries the overload policy legally
+// conflated or dropped. Bounded by scenario thresholds, never required to
+// be zero.
+func (b *Benchsub) DroppableGaps() int64 { return b.dropGaps.Load() }
 
 // Duplicates reports re-deliveries dropped by the per-connection position
 // check. Non-zero after failovers is expected (at-least-once, §3).
@@ -338,6 +447,13 @@ type PubConfig struct {
 	Reliable bool
 	// AckTimeout bounds one ack wait in reliable mode. Default 1s.
 	AckTimeout time.Duration
+	// Ramp modulates the publish rate over time: the instantaneous rate is
+	// the base rate (one message per topic per Interval) multiplied by
+	// Ramp(progress), with progress in [0, 1) over each RampPeriod. nil
+	// keeps the constant base rate (and the ticker-driven loop unchanged).
+	Ramp RampFunc
+	// RampPeriod is the period Ramp cycles over. Default 30s.
+	RampPeriod time.Duration
 	// Seed fixes the payload randomness.
 	Seed int64
 }
@@ -374,6 +490,9 @@ func StartBenchpub(cfg PubConfig) (*Benchpub, error) {
 	}
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = time.Second
+	}
+	if cfg.RampPeriod <= 0 {
+		cfg.RampPeriod = 30 * time.Second
 	}
 	p := &Benchpub{cfg: cfg, stop: make(chan struct{})}
 	for i := 0; i < cfg.Connections; i++ {
@@ -422,8 +541,21 @@ func (p *Benchpub) publishLoop(conn net.Conn, topics []string, seed int64) {
 	if slice <= 0 {
 		slice = time.Microsecond
 	}
-	ticker := time.NewTicker(slice)
-	defer ticker.Stop()
+	// Constant rate rides a ticker; a ramped rate re-arms a timer per
+	// message with the slice divided by the ramp factor, so the shape
+	// holds whatever the base rate is.
+	var tick <-chan time.Time
+	var timer *time.Timer
+	rampStart := time.Now()
+	if p.cfg.Ramp == nil {
+		ticker := time.NewTicker(slice)
+		defer ticker.Stop()
+		tick = ticker.C
+	} else {
+		timer = time.NewTimer(p.rampWait(slice, rampStart))
+		defer timer.Stop()
+		tick = timer.C
+	}
 	next := 0
 	seq := 0
 	buf := make([]byte, 0, p.cfg.PayloadSize+64)
@@ -431,7 +563,10 @@ func (p *Benchpub) publishLoop(conn net.Conn, topics []string, seed int64) {
 		select {
 		case <-p.stop:
 			return
-		case <-ticker.C:
+		case <-tick:
+		}
+		if timer != nil {
+			timer.Reset(p.rampWait(slice, rampStart))
 		}
 		topic := topics[next]
 		next = (next + 1) % len(topics)
@@ -463,6 +598,23 @@ func (p *Benchpub) publishLoop(conn net.Conn, topics []string, seed int64) {
 		p.sent.Add(1)
 		p.bytes.Add(int64(len(buf)))
 	}
+}
+
+// minRampFactor floors the ramp multiplier so a zero point in the shape
+// (the trough of a sine, the baseline of a spike) idles the publisher
+// instead of stopping it forever.
+const minRampFactor = 0.02
+
+// rampWait returns the next inter-message wait under the configured ramp:
+// the base slice divided by the ramp factor at the current progress point.
+func (p *Benchpub) rampWait(slice time.Duration, rampStart time.Time) time.Duration {
+	elapsed := time.Since(rampStart) % p.cfg.RampPeriod
+	progress := float64(elapsed) / float64(p.cfg.RampPeriod)
+	f := p.cfg.Ramp(progress)
+	if f < minRampFactor {
+		f = minRampFactor
+	}
+	return time.Duration(float64(slice) / f)
 }
 
 // publishReliably sends m and waits for a positive ack, republishing on

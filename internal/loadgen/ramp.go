@@ -1,0 +1,64 @@
+package loadgen
+
+import "math"
+
+// RampFunc maps scenario progress (in [0, 1)) to a load multiplier in
+// [0, 1]. The publisher divides its base inter-message interval by the
+// multiplier, so 1 is full configured rate and 0 idles (floored at
+// minRampFactor so the publisher never stops entirely). Ramps compose the
+// scenario library's workload shapes — the skudasov/loadgen exemplar's
+// ramp-up strategies generalized to arbitrary curves.
+type RampFunc func(progress float64) float64
+
+// LinearRamp grows the rate linearly from 0 to full over the period.
+func LinearRamp(progress float64) float64 {
+	return clamp01(progress)
+}
+
+// StepRamp returns a staircase ramp with n equal steps: the first step
+// runs at 1/n of full rate, the last at full rate.
+func StepRamp(n int) RampFunc {
+	if n < 1 {
+		n = 1
+	}
+	return func(progress float64) float64 {
+		step := math.Floor(clamp01(progress)*float64(n)) + 1
+		if step > float64(n) {
+			step = float64(n)
+		}
+		return step / float64(n)
+	}
+}
+
+// DiurnalRamp is a raised-cosine day curve: trough at progress 0 and 1,
+// peak at 0.5 — one compressed day per ramp period, the diurnal shape of
+// real-world messaging traffic.
+func DiurnalRamp(progress float64) float64 {
+	return 0.5 - 0.5*math.Cos(2*math.Pi*clamp01(progress))
+}
+
+// SpikeRamp returns a flash-burst shape: a low baseline rate with a
+// full-rate burst of the given width centered at the given progress point
+// (both in [0, 1]).
+func SpikeRamp(at, width float64) RampFunc {
+	const baseline = 0.1
+	half := width / 2
+	return func(progress float64) float64 {
+		p := clamp01(progress)
+		if p >= at-half && p <= at+half {
+			return 1
+		}
+		return baseline
+	}
+}
+
+// clamp01 clamps v into [0, 1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLinearRampMonotonic(t *testing.T) {
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		v := LinearRamp(p)
+		if v < prev {
+			t.Fatalf("LinearRamp(%g) = %g dropped below previous %g", p, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("LinearRamp(%g) = %g out of [0,1]", p, v)
+		}
+		prev = v
+	}
+	if LinearRamp(-0.5) != 0 || LinearRamp(1.5) != 1 {
+		t.Fatal("LinearRamp does not clamp out-of-range progress")
+	}
+}
+
+func TestStepRampStaircase(t *testing.T) {
+	ramp := StepRamp(4)
+	seen := map[float64]bool{}
+	prev := 0.0
+	for p := 0.0; p < 1.0; p += 0.01 {
+		v := ramp(p)
+		if v < prev {
+			t.Fatalf("StepRamp(4)(%g) = %g dropped below previous %g", p, v, prev)
+		}
+		seen[v] = true
+		prev = v
+	}
+	if len(seen) != 4 {
+		t.Fatalf("StepRamp(4) produced %d distinct levels, want 4: %v", len(seen), seen)
+	}
+	for _, want := range []float64{0.25, 0.5, 0.75, 1.0} {
+		if !seen[want] {
+			t.Errorf("StepRamp(4) never produced level %g", want)
+		}
+	}
+	// Degenerate step counts collapse to a constant full-rate ramp.
+	if StepRamp(0)(0.0) != 1 || StepRamp(-3)(0.9) != 1 {
+		t.Error("StepRamp with n < 1 must run at full rate")
+	}
+}
+
+func TestDiurnalRampShape(t *testing.T) {
+	if v := DiurnalRamp(0); v > 1e-9 {
+		t.Errorf("DiurnalRamp(0) = %g, want trough ~0", v)
+	}
+	if v := DiurnalRamp(1); v > 1e-9 {
+		t.Errorf("DiurnalRamp(1) = %g, want trough ~0", v)
+	}
+	if v := DiurnalRamp(0.5); math.Abs(v-1) > 1e-9 {
+		t.Errorf("DiurnalRamp(0.5) = %g, want peak 1", v)
+	}
+	// Rising before noon, falling after.
+	if DiurnalRamp(0.25) >= DiurnalRamp(0.4) {
+		t.Error("DiurnalRamp not rising on the morning side")
+	}
+	if DiurnalRamp(0.6) <= DiurnalRamp(0.9) {
+		t.Error("DiurnalRamp not falling on the evening side")
+	}
+}
+
+func TestSpikeRampWindow(t *testing.T) {
+	ramp := SpikeRamp(0.5, 0.2)
+	if v := ramp(0.1); v != 0.1 {
+		t.Errorf("SpikeRamp baseline = %g, want 0.1", v)
+	}
+	for _, p := range []float64{0.41, 0.5, 0.59} {
+		if v := ramp(p); v != 1 {
+			t.Errorf("SpikeRamp(%g) = %g inside burst window, want 1", p, v)
+		}
+	}
+	for _, p := range []float64{0.39, 0.61, 0.95} {
+		if v := ramp(p); v != 0.1 {
+			t.Errorf("SpikeRamp(%g) = %g outside burst window, want baseline 0.1", p, v)
+		}
+	}
+}
+
+func TestRampWaitFloorsFactor(t *testing.T) {
+	// A ramp that returns 0 at the trough must not stall the publisher: the
+	// wait is floored at slice/minRampFactor, never infinite.
+	p := &Benchpub{cfg: PubConfig{
+		Ramp:       DiurnalRamp, // exactly 0 at progress 0
+		RampPeriod: time.Second,
+	}}
+	slice := 10 * time.Millisecond
+	wait := p.rampWait(slice, time.Now())
+	if wait <= 0 {
+		t.Fatalf("rampWait returned non-positive wait %v", wait)
+	}
+	if max := time.Duration(float64(slice) / minRampFactor); wait > max {
+		t.Fatalf("rampWait = %v exceeds the floored maximum %v", wait, max)
+	}
+	// At the peak the wait is the base slice (within scheduling slop of the
+	// elapsed-time progress calculation).
+	peakStart := time.Now().Add(-500 * time.Millisecond)
+	wait = p.rampWait(slice, peakStart)
+	if wait < slice/2 || wait > 2*slice {
+		t.Fatalf("rampWait at peak = %v, want ~%v", wait, slice)
+	}
+}

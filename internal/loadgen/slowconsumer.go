@@ -84,30 +84,26 @@ func RunSlowConsumerScenario(e *core.Engine, cfg SlowConsumerScenario) (SlowCons
 	defer bp.Close()
 
 	time.Sleep(sc.Warmup)
+	// The sampler ticks at SampleEvery in the background and is additionally
+	// poked at every scenario-event boundary: the stall-saturation point and
+	// the window close. A spike shorter than one tick (the stall onset
+	// filling K transports at wire speed) is captured at the boundary that
+	// caused it instead of slipping between samples.
+	sampler := StartGaugeSampler(e.Stats, cfg.SampleEvery)
 	if cfg.StallReaders > 0 {
 		bs.StallReaders(cfg.StallReaders)
 		time.Sleep(cfg.StallSettle)
+		sampler.SampleNow()
 	}
 	e.ResetMeters()
 	bs.StartRecording()
 	fastBefore := bs.ReceivedFast()
 
-	deadline := time.Now().Add(sc.Measure)
-	ticker := time.NewTicker(cfg.SampleEvery)
-	for time.Now().Before(deadline) {
-		<-ticker.C
-		st := e.Stats()
-		if st.EgressQueueBytes > res.MaxEgressQueueBytes {
-			res.MaxEgressQueueBytes = st.EgressQueueBytes
-		}
-		if st.SlowConsumerBytes > res.MaxSlowConsumerBytes {
-			res.MaxSlowConsumerBytes = st.SlowConsumerBytes
-		}
-		if st.SlowConsumers > res.MaxSlowConsumers {
-			res.MaxSlowConsumers = st.SlowConsumers
-		}
-	}
-	ticker.Stop()
+	time.Sleep(sc.Measure)
+	maxima := sampler.Stop()
+	res.MaxEgressQueueBytes = maxima.EgressQueueBytes
+	res.MaxSlowConsumerBytes = maxima.SlowConsumerBytes
+	res.MaxSlowConsumers = maxima.SlowConsumers
 	bs.StopRecording()
 
 	st := e.Stats()

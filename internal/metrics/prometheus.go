@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromKind is the Prometheus metric type of a family.
+type PromKind string
+
+const (
+	PromCounter PromKind = "counter"
+	PromGauge   PromKind = "gauge"
+)
+
+// PromSample is one sample of a family: an optional label set and a value.
+// Labels distinguish samples of the same family (e.g. one per server in a
+// cluster process).
+type PromSample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family in Prometheus text exposition format
+// (version 0.0.4): a name, a HELP line, a TYPE line, and its samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Kind    PromKind
+	Samples []PromSample
+}
+
+// ValidPromName reports whether name is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]* (colons are reserved for recording rules,
+// so this package's own names never use them, but the validator accepts
+// what the format accepts).
+func ValidPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promEscaper escapes HELP text: backslash and newline only, per the
+// exposition format.
+var promEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// promLabelEscaper escapes label values: backslash, newline, and the
+// double quote.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+// WritePromText writes the families in Prometheus text exposition format.
+// Families are written in the order given; each family's samples likewise.
+// Returns the first write or validation error.
+func WritePromText(w io.Writer, families []PromFamily) error {
+	for _, f := range families {
+		if !ValidPromName(f.Name) {
+			return fmt.Errorf("metrics: invalid prometheus metric name %q", f.Name)
+		}
+		if f.Kind != PromCounter && f.Kind != PromGauge {
+			return fmt.Errorf("metrics: family %s has unknown kind %q", f.Name, f.Kind)
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, promEscaper.Replace(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			labels, err := formatPromLabels(s.Labels)
+			if err != nil {
+				return fmt.Errorf("metrics: family %s: %w", f.Name, err)
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labels, formatPromValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatPromLabels renders a label set as {k="v",...} with keys sorted for
+// a deterministic exposition, or "" for an empty set.
+func formatPromLabels(labels map[string]string) (string, error) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !ValidPromName(k) {
+			return "", fmt.Errorf("invalid label name %q", k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(promLabelEscaper.Replace(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String(), nil
+}
+
+// formatPromValue renders a sample value: integral values without a
+// decimal point (the common case for counters), others in shortest float
+// form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePromText(t *testing.T) {
+	families := []PromFamily{
+		{
+			Name: "migratorydata_published_total",
+			Help: "Messages accepted from publishers.",
+			Kind: PromCounter,
+			Samples: []PromSample{
+				{Labels: map[string]string{"server": "s1"}, Value: 42},
+			},
+		},
+		{
+			Name:    "migratorydata_egress_queue_bytes",
+			Help:    "Bytes staged but unwritten toward clients.",
+			Kind:    PromGauge,
+			Samples: []PromSample{{Value: 1.5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, families); err != nil {
+		t.Fatalf("WritePromText: %v", err)
+	}
+	want := "# HELP migratorydata_published_total Messages accepted from publishers.\n" +
+		"# TYPE migratorydata_published_total counter\n" +
+		`migratorydata_published_total{server="s1"} 42` + "\n" +
+		"# HELP migratorydata_egress_queue_bytes Bytes staged but unwritten toward clients.\n" +
+		"# TYPE migratorydata_egress_queue_bytes gauge\n" +
+		"migratorydata_egress_queue_bytes 1.5\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePromTextEscaping(t *testing.T) {
+	families := []PromFamily{{
+		Name: "m_x",
+		Help: "line one\nline \\two",
+		Kind: PromGauge,
+		Samples: []PromSample{
+			{Labels: map[string]string{"path": "a\"b\\c\nd"}, Value: 1},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, families); err != nil {
+		t.Fatalf("WritePromText: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m_x line one\nline \\two`) {
+		t.Errorf("HELP not escaped: %q", out)
+	}
+	if !strings.Contains(out, `m_x{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped: %q", out)
+	}
+	// No raw newlines may survive inside any line.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("empty exposition line in %q", out)
+		}
+	}
+}
+
+func TestWritePromTextLabelOrderDeterministic(t *testing.T) {
+	fam := []PromFamily{{
+		Name: "m_y", Kind: PromCounter,
+		Samples: []PromSample{{
+			Labels: map[string]string{"zeta": "1", "alpha": "2", "mid": "3"},
+			Value:  7,
+		}},
+	}}
+	var first string
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := WritePromText(&buf, fam); err != nil {
+			t.Fatalf("WritePromText: %v", err)
+		}
+		if i == 0 {
+			first = buf.String()
+			if !strings.Contains(first, `m_y{alpha="2",mid="3",zeta="1"} 7`) {
+				t.Fatalf("labels not sorted: %q", first)
+			}
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("exposition not deterministic across runs")
+		}
+	}
+}
+
+func TestWritePromTextRejectsBadNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, []PromFamily{{Name: "1bad", Kind: PromCounter}}); err == nil {
+		t.Error("accepted metric name starting with a digit")
+	}
+	if err := WritePromText(&buf, []PromFamily{{Name: "has-dash", Kind: PromGauge}}); err == nil {
+		t.Error("accepted metric name with a dash")
+	}
+	if err := WritePromText(&buf, []PromFamily{{Name: "ok_name", Kind: "histogram"}}); err == nil {
+		t.Error("accepted unsupported family kind")
+	}
+	if err := WritePromText(&buf, []PromFamily{{
+		Name: "ok_name", Kind: PromGauge,
+		Samples: []PromSample{{Labels: map[string]string{"bad-label": "x"}, Value: 1}},
+	}}); err == nil {
+		t.Error("accepted invalid label name")
+	}
+}
+
+func TestValidPromName(t *testing.T) {
+	for _, ok := range []string{"a", "_x", "migratorydata_io_flushes_total", "a:b", "A9_"} {
+		if !ValidPromName(ok) {
+			t.Errorf("ValidPromName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "9a", "a-b", "a b", "é"} {
+		if ValidPromName(bad) {
+			t.Errorf("ValidPromName(%q) = true, want false", bad)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/metrics"
+)
+
+// statsMetric maps one core.Stats field to its Prometheus family. The
+// table below covers every Stats field — server/metrics_test.go enforces
+// that by reflection, so adding an engine counter without exporting it
+// fails the build's tests, not a dashboard three weeks later.
+type statsMetric struct {
+	// Field is the core.Stats struct field name the value comes from.
+	Field string
+	// Name is the exposed family name (migratorydata_ prefix; counters end
+	// in _total per Prometheus naming conventions).
+	Name string
+	Kind metrics.PromKind
+	Help string
+}
+
+// statsMetrics is the full core.Stats → /metrics mapping, in exposition
+// order. The stats-log keys printed by cmd/migratorydata use the same
+// trailing vocabulary (published, pressure_drops, …), so a log line and a
+// scrape are two views of one counter set — see docs/BENCHMARKS.md,
+// "Prometheus export".
+var statsMetrics = []statsMetric{
+	{"Connections", "migratorydata_connections", metrics.PromGauge,
+		"Client connections currently attached."},
+	{"Connects", "migratorydata_connects_total", metrics.PromCounter,
+		"Client connections accepted since start."},
+	{"Published", "migratorydata_published_total", metrics.PromCounter,
+		"Messages accepted from publishers."},
+	{"Delivered", "migratorydata_delivered_total", metrics.PromCounter,
+		"Notifications delivered to subscribers."},
+	{"Retransmitted", "migratorydata_retransmitted_total", metrics.PromCounter,
+		"Messages re-sent from the history cache on resume/replay."},
+	{"DeliverRouted", "migratorydata_deliver_events_routed_total", metrics.PromCounter,
+		"Deliver events enqueued to workers by the topic-aware router."},
+	{"DeliverSkipped", "migratorydata_deliver_events_skipped_total", metrics.PromCounter,
+		"Worker pushes avoided because the worker had no subscriber for the topic."},
+	{"FanoutEvents", "migratorydata_fanout_events_total", metrics.PromCounter,
+		"Grouped write events pushed from workers to I/O threads."},
+	{"IOFlushes", "migratorydata_io_flushes_total", metrics.PromCounter,
+		"Transport write operations."},
+	{"IOFlushBytes", "migratorydata_io_flush_bytes_total", metrics.PromCounter,
+		"Bytes carried by transport writes."},
+	{"CacheTopics", "migratorydata_cache_topics", metrics.PromGauge,
+		"Topics with history cached."},
+	{"CacheEntries", "migratorydata_cache_entries", metrics.PromGauge,
+		"Live entries in the history cache."},
+	{"CacheBytes", "migratorydata_cache_bytes", metrics.PromGauge,
+		"Measured history-cache footprint in bytes."},
+	{"EgressQueueBytes", "migratorydata_egress_queue_bytes", metrics.PromGauge,
+		"Bytes staged but unwritten toward clients."},
+	{"SlowConsumers", "migratorydata_slow_consumers", metrics.PromGauge,
+		"Clients currently above the healthy pressure tier."},
+	{"SlowConsumerBytes", "migratorydata_slow_consumer_bytes", metrics.PromGauge,
+		"Staged bytes pinned by slow consumers."},
+	{"PressureDrops", "migratorydata_pressure_drops_total", metrics.PromCounter,
+		"Frames conflated away or evicted by the overload policy."},
+	{"PressureDisconnects", "migratorydata_pressure_disconnects_total", metrics.PromCounter,
+		"Fenced disconnects of critically slow consumers."},
+	{"BytesOut", "migratorydata_bytes_out_total", metrics.PromCounter,
+		"Payload bytes written to clients."},
+	{"Gbps", "migratorydata_egress_gbps", metrics.PromGauge,
+		"Measured egress throughput in gigabits per second."},
+	{"CPUUtilized", "migratorydata_cpu_utilization", metrics.PromGauge,
+		"Process CPU utilization fraction (0-1) over the sampling window."},
+}
+
+// statsValue extracts the named field from a Stats snapshot as a float64.
+func statsValue(st core.Stats, field string) (float64, error) {
+	v := reflect.ValueOf(st).FieldByName(field)
+	if !v.IsValid() {
+		return 0, fmt.Errorf("server: no core.Stats field %q", field)
+	}
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		return float64(v.Int()), nil
+	case reflect.Float64:
+		return v.Float(), nil
+	default:
+		return 0, fmt.Errorf("server: core.Stats field %q has unsupported kind %s", field, v.Kind())
+	}
+}
+
+// promFamilies renders one Stats snapshot per server into the full family
+// list. With more than one server (an in-process cluster) each family
+// carries one sample per member, labeled by server id.
+func promFamilies(servers []*Server) ([]metrics.PromFamily, error) {
+	snaps := make([]core.Stats, len(servers))
+	for i, s := range servers {
+		snaps[i] = s.Stats()
+	}
+	families := make([]metrics.PromFamily, 0, len(statsMetrics))
+	for _, m := range statsMetrics {
+		fam := metrics.PromFamily{Name: m.Name, Help: m.Help, Kind: m.Kind}
+		for i, s := range servers {
+			val, err := statsValue(snaps[i], m.Field)
+			if err != nil {
+				return nil, err
+			}
+			sample := metrics.PromSample{Value: val}
+			if len(servers) > 1 {
+				sample.Labels = map[string]string{"server": s.ID()}
+			}
+			fam.Samples = append(fam.Samples, sample)
+		}
+		families = append(families, fam)
+	}
+	return families, nil
+}
+
+// MetricsHandler returns an http.Handler serving the servers' engine
+// counters in Prometheus text exposition format — mount it at /metrics.
+// Each request takes fresh Stats snapshots; nothing is cached and the
+// engine hot paths are untouched (Stats sums cold-path ledgers).
+func MetricsHandler(servers ...*Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		families, err := promFamilies(servers)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.WritePromText(w, families); err != nil {
+			// Headers are gone; all we can do is cut the response short so
+			// the scraper sees a truncated exposition, not a silent half.
+			return
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/metrics"
+	"migratorydata/internal/protocol"
+)
+
+// TestStatsMetricsCoverEveryStatsField is the reflection coverage test:
+// every core.Stats field must appear exactly once in the statsMetrics
+// mapping, and every mapping entry must name a real field. An engine
+// counter added without a /metrics export fails here.
+func TestStatsMetricsCoverEveryStatsField(t *testing.T) {
+	st := reflect.TypeOf(core.Stats{})
+	mapped := map[string]int{}
+	for _, m := range statsMetrics {
+		mapped[m.Field]++
+	}
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		switch mapped[name] {
+		case 0:
+			t.Errorf("core.Stats.%s has no /metrics mapping; add it to statsMetrics", name)
+		case 1:
+		default:
+			t.Errorf("core.Stats.%s is mapped %d times", name, mapped[name])
+		}
+		delete(mapped, name)
+	}
+	for field := range mapped {
+		t.Errorf("statsMetrics maps %q, which is not a core.Stats field", field)
+	}
+	// Every value must extract cleanly (no unsupported field kinds).
+	for _, m := range statsMetrics {
+		if _, err := statsValue(core.Stats{}, m.Field); err != nil {
+			t.Errorf("statsValue(%s): %v", m.Field, err)
+		}
+	}
+}
+
+// TestStatsMetricsNamingConventions pins the exposed vocabulary: the
+// migratorydata_ prefix, _total suffixes on counters and only counters,
+// valid Prometheus names, and unique names.
+func TestStatsMetricsNamingConventions(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range statsMetrics {
+		if !metrics.ValidPromName(m.Name) {
+			t.Errorf("%s: invalid prometheus name", m.Name)
+		}
+		if !strings.HasPrefix(m.Name, "migratorydata_") {
+			t.Errorf("%s: missing migratorydata_ prefix", m.Name)
+		}
+		if hasTotal := strings.HasSuffix(m.Name, "_total"); hasTotal != (m.Kind == metrics.PromCounter) {
+			t.Errorf("%s: kind %s and _total suffix disagree", m.Name, m.Kind)
+		}
+		if m.Help == "" {
+			t.Errorf("%s: no help text", m.Name)
+		}
+		if seen[m.Name] {
+			t.Errorf("%s: duplicate family name", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+// promLine matches a valid sample line: name, optional labels, and a
+// numeric value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// TestMetricsHandlerExposition scrapes a live server and checks the
+// response is format-compliant: correct content type, HELP+TYPE preceding
+// every family, every sample line well-formed, every mapped family
+// present.
+func TestMetricsHandlerExposition(t *testing.T) {
+	srv := New(Config{ID: "prom-1"})
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+
+	h := MetricsHandler(srv)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics: status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q is not the text exposition type", ct)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	out := string(body)
+
+	typed := map[string]bool{}
+	var lastHelp string
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "counter" && f[3] != "gauge") {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			if f[2] != lastHelp {
+				t.Errorf("TYPE %s not preceded by its HELP line", f[2])
+			}
+			if typed[f[2]] {
+				t.Errorf("family %s declared twice", f[2])
+			}
+			typed[f[2]] = true
+		case line == "":
+			t.Error("blank line in exposition")
+		default:
+			if !promLine.MatchString(line) {
+				t.Errorf("malformed sample line: %q", line)
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if !typed[name] {
+				t.Errorf("sample %q precedes its TYPE declaration", name)
+			}
+		}
+	}
+	for _, m := range statsMetrics {
+		if !typed[m.Name] {
+			t.Errorf("family %s missing from /metrics", m.Name)
+		}
+		if !strings.Contains(out, "\n"+m.Name+" ") && !strings.HasPrefix(out, m.Name+" ") {
+			t.Errorf("no sample for %s in single-server exposition", m.Name)
+		}
+	}
+}
+
+// TestMetricsHandlerMultiServerLabels: with several servers each family
+// carries one labeled sample per member.
+func TestMetricsHandlerMultiServerLabels(t *testing.T) {
+	a := New(Config{ID: "prom-a"})
+	b := New(Config{ID: "prom-b"})
+	defer a.Close()
+	defer b.Close()
+
+	rr := httptest.NewRecorder()
+	MetricsHandler(a, b).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	out := rr.Body.String()
+	for _, want := range []string{
+		`migratorydata_connections{server="prom-a"} `,
+		`migratorydata_connections{server="prom-b"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-server exposition missing %q", want)
+		}
+	}
+}
+
+// TestMetricsHandlerReflectsTraffic: counters flowing through the engine
+// show up in a scrape.
+func TestMetricsHandlerReflectsTraffic(t *testing.T) {
+	srv := New(Config{ID: "prom-traffic"})
+	defer srv.Close()
+	srv.Engine().Publish(&protocol.Message{
+		Kind: protocol.KindPublish, Topic: "t1", ID: "id-1", Payload: []byte("x"),
+	})
+
+	rr := httptest.NewRecorder()
+	MetricsHandler(srv).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "migratorydata_published_total 1") {
+		t.Errorf("scrape does not reflect the published message:\n%s", rr.Body.String())
+	}
+}

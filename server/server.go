@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"migratorydata/internal/capture"
 	"migratorydata/internal/cluster"
 	"migratorydata/internal/consensus"
 	"migratorydata/internal/core"
@@ -54,6 +55,10 @@ type Config struct {
 	// Classify assigns topics a delivery class for the overload policy
 	// (nil: every topic reliable — never dropped under pressure).
 	Classify core.ClassifyFunc
+	// Recorder optionally taps the engine's ingest/egress spine for traffic
+	// capture (see internal/capture). Nil (the default) costs the hot path
+	// one nil-check branch.
+	Recorder *capture.Recorder
 	// Pause optionally injects stop-the-world pauses (GC ablation).
 	Pause *metrics.PauseInjector
 	// Logger receives debug events.
@@ -85,6 +90,7 @@ func (cfg Config) engineConfig() core.Config {
 		ConflationInterval: cfg.ConflationInterval,
 		EgressBudgetBytes:  cfg.EgressBudgetBytes,
 		Classify:           cfg.Classify,
+		Recorder:           cfg.Recorder,
 		Pause:              cfg.Pause,
 		Logger:             cfg.Logger,
 	}
