@@ -880,21 +880,33 @@ func BenchmarkSparseFanout(b *testing.B) {
 //     OUTSIDE the group lock, after the per-group FIFO hand-off);
 //   - delivery still reaches every subscriber (the drain targets).
 //
-// With BENCH_INGEST_JSON=<path> each sub-benchmark appends a machine-
-// readable row (msgs/s, allocs/op, cache bytes, lock acquisitions/op) —
-// the CI bench-smoke job uses this to track the perf trajectory across
-// commits.
+// With BENCH_INGEST_JSON=<path> each memory-only sub-benchmark appends a
+// machine-readable row (msgs/s, allocs/op, cache bytes, lock
+// acquisitions/op) — the CI bench-smoke job uses this to track the perf
+// trajectory across commits. The durable-* variants (segment log on)
+// write to BENCH_DURABILITY_JSON instead, asserting the same invariants.
 func BenchmarkPublishIngest(b *testing.B) {
 	const topic = "ingest-hot"
-	run := func(b *testing.B, subscribers int) {
+	run := func(b *testing.B, subscribers int, durable bool) {
 		// Overload protection off: the parallel publishers intentionally
 		// outrun the raw drain goroutine between the harness's coarse
 		// drain gates, which the default budget would (correctly) fence as
 		// a critically slow consumer. This benchmark measures sequencing
 		// under that harness-driven backpressure; the overload path has
 		// its own benchmark (BenchmarkSlowConsumerIsolation).
-		e := core.New(core.Config{ServerID: "ingest", IoThreads: 2, Workers: 2, TopicGroups: 100,
-			EgressBudgetBytes: -1})
+		cfg := core.Config{ServerID: "ingest", IoThreads: 2, Workers: 2, TopicGroups: 100,
+			EgressBudgetBytes: -1}
+		if durable {
+			// Durable variant: the same publish path with the write-behind
+			// segment log on (default fsync policy, 100ms interval). The
+			// invariants must not move — persistence rides the drainer, off
+			// the publish critical path.
+			cfg.DataDir = b.TempDir()
+		}
+		e, err := core.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Cleanup(func() { e.Close() })
 		attach := loadgen.SingleEngineAttach(e, 1<<16)
 		for i := 0; i < subscribers; i++ {
@@ -1000,9 +1012,27 @@ func BenchmarkPublishIngest(b *testing.B) {
 		if b.N >= 10_000 && allocsPerOp > 2 {
 			b.Errorf("steady-state publish path allocates %.2f objects/op, want <= 2", allocsPerOp)
 		}
+		st := e.Stats()
+		envVar := "BENCH_INGEST_JSON"
+		extra := map[string]float64{"subscribers": float64(subscribers)}
+		if durable {
+			// Every sequenced publish must have been staged toward the log
+			// (warm-up and readiness probes append too, hence >=), and the
+			// sink must have stayed healthy for the run to mean anything.
+			if st.SeglogAppends < int64(b.N) {
+				b.Errorf("seglog staged %d of %d published entries", st.SeglogAppends, b.N)
+			}
+			if st.SeglogFailed != 0 {
+				b.Error("segment log hit a terminal sink error during the benchmark")
+			}
+			envVar = "BENCH_DURABILITY_JSON"
+			extra["seglog_appended_bytes"] = float64(st.SeglogAppendedBytes)
+			extra["seglog_flushes"] = float64(st.SeglogFlushes)
+			extra["gated_seglog_failed"] = float64(st.SeglogFailed)
+		}
 		// Only the measured run goes to the artifact — the testing package
 		// first probes with b.N == 1, where fixed costs dominate.
-		appendBenchRow(b, "BENCH_INGEST_JSON", 1000, metrics.BenchRow{
+		appendBenchRow(b, envVar, 1000, metrics.BenchRow{
 			Name:          b.Name(),
 			Iterations:    b.N,
 			NsPerOp:       float64(b.Elapsed().Nanoseconds()) / float64(b.N),
@@ -1010,14 +1040,18 @@ func BenchmarkPublishIngest(b *testing.B) {
 			AllocsPerOp:   allocsPerOp,
 			CacheBytes:    ms.Bytes(),
 			LockAcqsPerOp: lockPerOp,
-			Extra:         map[string]float64{"subscribers": float64(subscribers)},
+			Extra:         extra,
 		})
 	}
 	// no-subscribers: pure sequencing cost — no encode, no fan-out, ~0
 	// allocs. one-subscriber: the full pipeline including the lazy NOTIFY
-	// encode (the +1 alloc) and the egress hand-off.
-	b.Run("no-subscribers", func(b *testing.B) { run(b, 0) })
-	b.Run("one-subscriber", func(b *testing.B) { run(b, 1) })
+	// encode (the +1 alloc) and the egress hand-off. The durable-* variants
+	// rerun both with the segment log enabled: same 1-lock/≤2-alloc
+	// invariants, proving persistence stays off the publish critical path.
+	b.Run("no-subscribers", func(b *testing.B) { run(b, 0, false) })
+	b.Run("one-subscriber", func(b *testing.B) { run(b, 1, false) })
+	b.Run("durable-no-subscribers", func(b *testing.B) { run(b, 0, true) })
+	b.Run("durable-one-subscriber", func(b *testing.B) { run(b, 1, true) })
 }
 
 // benchIngestPayload is shared by every published message in

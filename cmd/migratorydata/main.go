@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"migratorydata/internal/capture"
+	"migratorydata/internal/seglog"
 	"migratorydata/server"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		batchBytes   = flag.Int("batch-bytes", 32768, "output batching size trigger")
 		conflation   = flag.Duration("conflation", 0, "per-topic conflation interval (0 = off)")
 		egressBudget = flag.Int("egress-budget", 0, "per-client egress byte budget for slow-consumer protection (0 = default 1MiB, negative = off)")
+		dataDir      = flag.String("data-dir", "", "durable history directory: crash-safe segment log, replayed at startup (single node only; off by default)")
+		fsyncPolicy  = flag.String("fsync", "interval", "segment-log fsync policy: interval (default, 100ms), never, always, or a duration like 250ms")
 		statsEvery   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 		recordPath   = flag.String("record", "", "record all client traffic to this capture file (replay with mdreplay; off by default)")
 		metricsAddr  = flag.String("metrics", "", "serve Prometheus metrics on this address at /metrics (off by default)")
@@ -51,6 +54,16 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 		Level: map[bool]slog.Level{true: slog.LevelDebug, false: slog.LevelInfo}[*verbose],
 	}))
+
+	fsync, err := seglog.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -fsync %q: %v\n", *fsyncPolicy, err)
+		os.Exit(1)
+	}
+	if *dataDir != "" && *clusterSize > 1 {
+		fmt.Fprintln(os.Stderr, "-data-dir is single-node only: cluster durability is replication, not a local log")
+		os.Exit(1)
+	}
 
 	host, portStr, err := net.SplitHostPort(*listen)
 	if err != nil {
@@ -95,6 +108,8 @@ func main() {
 			BatchMaxDelay:      *batchDelay,
 			ConflationInterval: *conflation,
 			EgressBudgetBytes:  *egressBudget,
+			DataDir:            *dataDir,
+			Fsync:              fsync,
 			Recorder:           recorder,
 			Logger:             logger,
 		}
@@ -102,13 +117,20 @@ func main() {
 
 	var servers []*server.Server
 	if *clusterSize <= 1 {
-		srv := server.New(memberCfg(0))
+		srv, err := server.Open(memberCfg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := srv.Start(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		servers = append(servers, srv)
 		logger.Info("single-node server listening", "addr", srv.Addr(), "mode", *mode)
+		if *dataDir != "" {
+			logger.Info("durable history enabled", "data_dir", *dataDir, "fsync", fsync.String())
+		}
 	} else {
 		members := make([]server.Config, *clusterSize)
 		for i := range members {
@@ -154,6 +176,17 @@ func main() {
 						"pressure_disconnects", st.PressureDisconnects,
 						"gbps", fmt.Sprintf("%.3f", st.Gbps),
 						"cpu", fmt.Sprintf("%.1f%%", st.CPUUtilized*100))
+					if *dataDir != "" {
+						logger.Info("seglog-stats", "id", s.ID(),
+							"seglog_appends", st.SeglogAppends,
+							"seglog_appended_bytes", st.SeglogAppendedBytes,
+							"seglog_flushes", st.SeglogFlushes,
+							"seglog_fsyncs", st.SeglogFsyncs,
+							"seglog_segments", st.SeglogSegments,
+							"seglog_disk_bytes", st.SeglogDiskBytes,
+							"seglog_staged_bytes", st.SeglogStagedBytes,
+							"seglog_failed", st.SeglogFailed)
+					}
 					if n := s.Node(); n != nil {
 						cs := n.Stats()
 						logger.Info("cluster-stats", "id", s.ID(),

@@ -54,6 +54,36 @@ func TestDocLinksResolve(t *testing.T) {
 	}
 }
 
+// TestDocsPinDurability pins the durability documentation contract: the
+// architecture map describes the durability path, and the benchmark
+// runbook carries the on-disk byte layout and the seglog metric families
+// — internal/seglog/record.go points readers at these sections by name,
+// so renaming them must fail here, not rot silently.
+func TestDocsPinDurability(t *testing.T) {
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(arch), "### The durability path") {
+		t.Error(`docs/ARCHITECTURE.md lost its "The durability path" section`)
+	}
+	bench, err := os.ReadFile("docs/BENCHMARKS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"## Durable history",
+		"### Segment record layout",
+		"migratorydata_seglog_failed",
+		"BENCH_durability.json",
+		"kill-and-resume",
+	} {
+		if !strings.Contains(string(bench), want) {
+			t.Errorf("docs/BENCHMARKS.md lost %q", want)
+		}
+	}
+}
+
 // TestDocsExist pins the documentation set the repository promises: the
 // architecture map, the wire-format specification, and the benchmark
 // runbook, each non-trivially sized and linked from the README.

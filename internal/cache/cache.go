@@ -281,6 +281,20 @@ func (c *Cache) AppendNext(gid int, topic string, e Entry) (Entry, bool) {
 	return e, true
 }
 
+// RecoverGroup stores e during startup recovery (segment-log replay,
+// internal/seglog). It enforces the same strictly-after ordering rule as
+// AppendGroup — replayed records arrive in on-disk order, and duplicates
+// or stale tails are rejected idempotently — but its lock acquisition is
+// NOT counted in GroupLockAcquisitions: that counter is reserved for the
+// publish paths, so the one-lock-per-publish benchmark invariant stays
+// measurable on an engine that booted from a recovered data dir.
+func (c *Cache) RecoverGroup(gid int, topic string, e Entry) bool {
+	g := c.groupAt(gid, topic)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return c.appendLocked(g, topic, e)
+}
+
 // Since returns up to limit entries of topic ordered strictly after
 // (epoch, seq), oldest first. limit <= 0 means no limit. The returned slice
 // is freshly allocated; entries are shared (callers must not mutate

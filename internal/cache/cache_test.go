@@ -602,3 +602,39 @@ func TestMemStatsIncrementalMatchesWalk(t *testing.T) {
 		t.Fatalf("unexpected totals: %+v", ms)
 	}
 }
+
+// TestRecoverGroupKeepsLockCounterPure: recovery loads enforce ordering
+// like the publish appends but leave GroupLockAcquisitions untouched, so
+// the ingest benchmark's one-lock-per-publish invariant survives a boot
+// from a recovered data dir.
+func TestRecoverGroupKeepsLockCounterPure(t *testing.T) {
+	c := New(4, 8)
+	g := c.GroupOf("t")
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !c.RecoverGroup(g, "t", Entry{Epoch: 1, Seq: seq, ID: fmt.Sprintf("r%d", seq)}) {
+			t.Fatalf("recovery load of seq %d rejected", seq)
+		}
+	}
+	// Stale and duplicate replays are rejected idempotently.
+	if c.RecoverGroup(g, "t", Entry{Epoch: 1, Seq: 3}) {
+		t.Fatal("duplicate recovery load accepted")
+	}
+	if c.RecoverGroup(g, "t", Entry{Epoch: 1, Seq: 2}) {
+		t.Fatal("stale recovery load accepted")
+	}
+	ms := c.MemStats()
+	if ms.GroupLockAcquisitions != 0 {
+		t.Fatalf("recovery loads counted %d lock acquisitions; the counter is reserved for publish paths", ms.GroupLockAcquisitions)
+	}
+	if ms.Appends != 3 || ms.Entries != 3 {
+		t.Fatalf("recovered state: %+v", ms)
+	}
+	// Publishing continues the recovered stream under the counted path.
+	e, ok := c.AppendNext(g, "t", Entry{Epoch: 2})
+	if !ok || e.Epoch != 2 || e.Seq != 1 {
+		t.Fatalf("AppendNext after recovery = %+v, %v", e, ok)
+	}
+	if got := c.MemStats().GroupLockAcquisitions; got != 1 {
+		t.Fatalf("publish after recovery counted %d acquisitions, want 1", got)
+	}
+}

@@ -141,7 +141,13 @@ func (r *Recorder) appendLocked(nowNs int64, conn uint64, dir Direction, frame [
 func (r *Recorder) writeLoop(w io.Writer) {
 	defer close(r.done)
 	for b := range r.out {
-		if _, err := w.Write(b); err != nil {
+		n, err := w.Write(b)
+		if err == nil && n < len(b) {
+			// A sink that short-writes with a nil error (violating the
+			// io.Writer contract) still truncated the capture.
+			err = io.ErrShortWrite
+		}
+		if err != nil {
 			r.errMu.Lock()
 			if r.werr == nil {
 				r.werr = err
@@ -170,6 +176,10 @@ func (r *Recorder) Close() error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
+		// A concurrent first Close may still be waiting on the writer
+		// goroutine: wait too, so no caller observes a nil error while a
+		// deferred sink failure is about to surface.
+		<-r.done
 		return r.Err()
 	}
 	r.closed = true

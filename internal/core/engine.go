@@ -16,6 +16,7 @@ import (
 	"migratorydata/internal/capture"
 	"migratorydata/internal/metrics"
 	"migratorydata/internal/protocol"
+	"migratorydata/internal/seglog"
 	"migratorydata/internal/websocket"
 )
 
@@ -85,6 +86,23 @@ type Config struct {
 	// Pause optionally injects stop-the-world pauses into the Worker loop
 	// (GC ablation experiment).
 	Pause *metrics.PauseInjector
+	// DataDir, when non-empty, enables durable history: sequenced entries
+	// are written write-behind to a per-group segment log under this
+	// directory (internal/seglog), and Open replays it at boot so
+	// resume-with-position survives a crash-restart. Single-node only —
+	// cluster durability is replication (§5.2.2). See
+	// docs/ARCHITECTURE.md, "The durability path".
+	DataDir string
+	// Fsync is the segment-log durability policy (zero value: periodic
+	// sync every 100ms). Ignored without DataDir.
+	Fsync seglog.Policy
+	// SegmentMaxBytes / SegmentMaxAge bound one segment file (zero:
+	// 8 MiB / 10 minutes). Ignored without DataDir.
+	SegmentMaxBytes int64
+	SegmentMaxAge   time.Duration
+	// SeglogFS overrides the segment log's filesystem (fault injection in
+	// tests); nil selects the real disk.
+	SeglogFS seglog.FS
 	// Recorder, when non-nil, taps every client connection for the
 	// capture/replay pipeline (internal/capture): connection opens and
 	// closes, every decoded inbound frame, and every outbound frame are
@@ -161,6 +179,15 @@ type Engine struct {
 	logger    *slog.Logger
 	recorder  *capture.Recorder
 
+	// Durable history (nil / zero without DataDir). epoch is the epoch the
+	// local sequencer stamps: 1 on a memory-only engine, the recovered
+	// boot epoch on a durable one (strictly above everything on disk, so
+	// a crash-restart never reuses an (epoch, seq) a subscriber may have
+	// observed ahead of the recovered prefix).
+	seglog   *seglog.Log
+	recovery *seglog.RecoveryReport
+	epoch    uint32
+
 	// Overload protection, precomputed from cfg (see pressure.go).
 	protect            bool
 	egressBudgetBytes  int64
@@ -193,8 +220,23 @@ type engineStats struct {
 }
 
 // New constructs and starts an Engine: IoThread and Worker loops begin
-// running immediately; connections arrive via Serve or Attach.
+// running immediately; connections arrive via Serve or Attach. New panics
+// if the durable log cannot be opened — callers that set DataDir should
+// use Open and handle the error.
 func New(cfg Config) *Engine {
+	e, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Open is New with the durable-history error surfaced: when cfg.DataDir is
+// set, the segment log is opened and replayed into the cache BEFORE any
+// IoThread or Worker starts, so the first subscriber replay already sees
+// the recovered history and the sequencer's first assignment already
+// carries the bumped boot epoch.
+func Open(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:      cfg,
@@ -204,6 +246,32 @@ func New(cfg Config) *Engine {
 		logger:   cfg.Logger,
 		recorder: cfg.Recorder,
 		tickStop: make(chan struct{}),
+		epoch:    1,
+	}
+	if cfg.DataDir != "" {
+		lg, rep, err := seglog.Open(cfg.DataDir, seglog.Options{
+			Groups:          cfg.TopicGroups,
+			CacheCapacity:   cfg.CacheCapacity,
+			Fsync:           cfg.Fsync,
+			SegmentMaxBytes: cfg.SegmentMaxBytes,
+			SegmentMaxAge:   cfg.SegmentMaxAge,
+			FS:              cfg.SeglogFS,
+			Logger:          cfg.Logger,
+		}, func(gid int, topic string, entry cache.Entry) bool {
+			return e.cache.RecoverGroup(gid, topic, entry)
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.seglog = lg
+		e.recovery = rep
+		e.epoch = rep.BootEpoch
+		cfg.Logger.Info("durable history recovered",
+			"dir", cfg.DataDir,
+			"entries", rep.Entries,
+			"segments", rep.Segments,
+			"truncations", len(rep.Truncations),
+			"boot_epoch", rep.BootEpoch)
 	}
 	e.protect = cfg.EgressBudgetBytes > 0
 	if e.protect {
@@ -238,7 +306,7 @@ func New(cfg Config) *Engine {
 	}
 	e.traffic.Start()
 	e.cpu.Start()
-	return e
+	return e, nil
 }
 
 // SetPublishFunc replaces the publication path. Must be called before any
@@ -501,6 +569,33 @@ func (e *Engine) DeliverGroup(group int, topic string, entry cache.Entry) int {
 	return routed
 }
 
+// persist stages a sequenced entry for the durable log. Called by the
+// sequencer's per-group drainer (one drainer at a time per group, so
+// appends arrive in sequencing order) before fan-out; a memory-only
+// engine pays exactly this nil-check.
+//
+//vet:hotpath
+func (e *Engine) persist(group int, topic string, entry cache.Entry) {
+	if e.seglog != nil {
+		e.seglog.Append(group, topic, entry)
+	}
+}
+
+// Recovery reports the boot-time recovery outcome (nil without DataDir).
+func (e *Engine) Recovery() *seglog.RecoveryReport { return e.recovery }
+
+// Epoch reports the epoch the local sequencer stamps on new publications.
+func (e *Engine) Epoch() uint32 { return e.epoch }
+
+// SyncLog forces staged durable-log bytes to disk and reports the log's
+// terminal error, if any. No-op without DataDir.
+func (e *Engine) SyncLog() error {
+	if e.seglog == nil {
+		return nil
+	}
+	return e.seglog.Sync()
+}
+
 // classify returns topic's delivery class under the configured policy.
 func (e *Engine) classify(topic string) DeliveryClass {
 	if e.classifyFn == nil {
@@ -589,6 +684,26 @@ type Stats struct {
 	BytesOut            int64
 	Gbps                float64
 	CPUUtilized         float64
+	// Durable-history gauges and counters (all zero without DataDir).
+	// SeglogAppends/SeglogAppendedBytes count entries staged toward the
+	// segment log; SeglogDropped counts entries discarded after a terminal
+	// sink failure. SeglogFlushes/SeglogFsyncs count writer-side flushes
+	// and fsync calls; SeglogSegments/SeglogDiskBytes gauge the on-disk
+	// footprint, SeglogStagedBytes the bytes buffered but not yet written.
+	// SeglogRecoveredEntries/SeglogTruncations report the boot-time
+	// recovery outcome; SeglogFailed is 1 once the log hit a terminal
+	// write/sync error (history on disk stays replayable).
+	SeglogAppends          int64
+	SeglogAppendedBytes    int64
+	SeglogDropped          int64
+	SeglogFlushes          int64
+	SeglogFsyncs           int64
+	SeglogSegments         int64
+	SeglogDiskBytes        int64
+	SeglogStagedBytes      int64
+	SeglogRecoveredEntries int64
+	SeglogTruncations      int64
+	SeglogFailed           int64
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -612,6 +727,14 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.mu.Unlock()
+	var sl seglog.Stats
+	if e.seglog != nil {
+		sl = e.seglog.Stats()
+	}
+	var slFailed int64
+	if sl.Failed {
+		slFailed = 1
+	}
 	return Stats{
 		CacheTopics:         int64(ms.Topics),
 		CacheEntries:        int64(ms.Entries),
@@ -634,6 +757,18 @@ func (e *Engine) Stats() Stats {
 		BytesOut:            e.traffic.Bytes(),
 		Gbps:                e.traffic.Gbps(),
 		CPUUtilized:         e.cpu.Utilization(),
+
+		SeglogAppends:          sl.Appends,
+		SeglogAppendedBytes:    sl.AppendedBytes,
+		SeglogDropped:          sl.Dropped,
+		SeglogFlushes:          sl.Flushes,
+		SeglogFsyncs:           sl.Fsyncs,
+		SeglogSegments:         sl.Segments,
+		SeglogDiskBytes:        sl.DiskBytes,
+		SeglogStagedBytes:      sl.StagedBytes,
+		SeglogRecoveredEntries: sl.RecoveredEntries,
+		SeglogTruncations:      sl.Truncations,
+		SeglogFailed:           slFailed,
 	}
 }
 
@@ -682,5 +817,10 @@ func (e *Engine) Close() error {
 		w.in.Close()
 	}
 	e.wg.Wait()
+	if e.seglog != nil {
+		// After wg.Wait() no drainer can append; Close flushes staged
+		// bytes, syncs, and surfaces any terminal sink error.
+		return e.seglog.Close()
+	}
 	return nil
 }

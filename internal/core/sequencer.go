@@ -36,6 +36,11 @@ import (
 // §5.2.2 (see internal/cluster).
 type localSequencer struct {
 	engine *Engine
+	// epoch stamps every publication: 1 on a memory-only engine, the
+	// bumped boot epoch on a durable one — there is no coordinator change
+	// without a cluster, but a crash-restart bumps the epoch so recovered
+	// history and the new stream stay totally ordered.
+	epoch  uint32
 	groups []seqGroup
 }
 
@@ -59,13 +64,10 @@ type seqGroup struct {
 	spare    []staged
 }
 
-// localEpoch is the fixed epoch of a non-replicated single server: there is
-// no coordinator change without a cluster.
-const localEpoch = 1
-
 func newLocalSequencer(e *Engine) *localSequencer {
 	return &localSequencer{
 		engine: e,
+		epoch:  e.epoch,
 		groups: make([]seqGroup, e.cfg.TopicGroups),
 	}
 }
@@ -85,7 +87,7 @@ func (s *localSequencer) publish(from *Client, m *protocol.Message) {
 	g := s.engine.cache.GroupOf(m.Topic)
 	proposal := cache.Entry{
 		ID:        m.ID,
-		Epoch:     localEpoch,
+		Epoch:     s.epoch,
 		Timestamp: m.Timestamp,
 		Payload:   m.Payload,
 	}
@@ -96,7 +98,7 @@ func (s *localSequencer) publish(from *Client, m *protocol.Message) {
 	// keeps the hand-off order identical to the sequencing order.
 	entry, ok := s.engine.cache.AppendNext(g, m.Topic, proposal)
 	if !ok {
-		// The cache holds a newer epoch than localEpoch — possible only if
+		// The cache holds a newer epoch than ours — possible only if
 		// something appended cluster-epoch history directly. Continue the
 		// newer epoch, as the pre-AppendNext sequencer did.
 		epoch, _, _ := s.engine.cache.PositionGroup(g, m.Topic)
@@ -126,7 +128,10 @@ func (s *localSequencer) publish(from *Client, m *protocol.Message) {
 	}
 
 	if drainer {
-		// Encode + worker pushes, outside every lock.
+		// Durable-log staging and encode + worker pushes, outside every
+		// lock. The drainer role serializes persist per group, so the log
+		// receives entries in sequencing order.
+		s.engine.persist(g, m.Topic, entry)
 		s.engine.DeliverGroup(g, m.Topic, entry)
 		s.drain(g, gs)
 	}
@@ -159,6 +164,7 @@ func (s *localSequencer) drain(g int, gs *seqGroup) {
 		gs.mu.Unlock()
 
 		for i := range batch {
+			s.engine.persist(g, batch[i].topic, batch[i].entry)
 			s.engine.DeliverGroup(g, batch[i].topic, batch[i].entry)
 			batch[i] = staged{} // drop topic/payload references
 		}

@@ -1,0 +1,285 @@
+// Package faultfs injects filesystem faults for crash-safety testing: it
+// wraps a seglog.FS (and a plain io.Writer, for the capture recorder) and
+// can fail, short-write, or delay the Nth matching operation. The torn
+// writes and sink errors a real power cut produces become deterministic
+// single-line test setup — the durability acceptance criteria ("an
+// injected short write or fsync error never corrupts already-acknowledged
+// history") are proved against this package.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"migratorydata/internal/seglog"
+)
+
+// ErrInjected is the default error returned by an injected fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op names one filesystem operation class for fault matching.
+type Op string
+
+const (
+	OpMkdirAll Op = "mkdirall"
+	OpCreate   Op = "create"
+	OpReadDir  Op = "readdir"
+	OpReadFile Op = "readfile"
+	OpTruncate Op = "truncate"
+	OpRemove   Op = "remove"
+	OpRename   Op = "rename"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+)
+
+// Fault describes one injection.
+type Fault struct {
+	// Op selects the operation class the fault arms on.
+	Op Op
+	// Nth is the 1-based count of matching operations at which the fault
+	// fires; 0 fires on every match.
+	Nth int
+	// Err is the error to return (nil selects ErrInjected — except for a
+	// Short write, where a nil Err models a sink that violates the
+	// io.Writer contract by returning a short count WITHOUT an error).
+	Err error
+	// Short, for OpWrite: the number of bytes actually written before the
+	// fault fires (a torn write).
+	Short int
+	// ShortNilError, with Short: return the short count with a nil error.
+	ShortNilError bool
+	// Delay stalls the operation before it runs.
+	Delay time.Duration
+	// Sticky keeps the fault firing on every match from Nth onward.
+	Sticky bool
+}
+
+// FS wraps a seglog.FS, counting operations and applying armed faults.
+type FS struct {
+	inner seglog.FS
+
+	mu     sync.Mutex
+	counts map[Op]int
+	faults []Fault
+}
+
+// New wraps inner (nil selects the real disk, seglog.OSFS).
+func New(inner seglog.FS) *FS {
+	if inner == nil {
+		inner = seglog.OSFS{}
+	}
+	return &FS{inner: inner, counts: make(map[Op]int)}
+}
+
+// Inject arms one fault. Faults are independent; each matching operation
+// consults all of them.
+func (f *FS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, fault)
+}
+
+// Count reports how many operations of class op have run.
+func (f *FS) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check counts one operation and returns the armed fault that fires on it,
+// if any, applying its delay.
+func (f *FS) check(op Op) *Fault {
+	f.mu.Lock()
+	f.counts[op]++
+	n := f.counts[op]
+	var hit *Fault
+	for i := range f.faults {
+		ft := &f.faults[i]
+		if ft.Op != op {
+			continue
+		}
+		if ft.Nth == 0 || n == ft.Nth || (ft.Sticky && n >= ft.Nth) {
+			hit = ft
+			break
+		}
+	}
+	var delay time.Duration
+	if hit != nil {
+		delay = hit.Delay
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return hit
+}
+
+// errOf resolves a fault's error.
+func errOf(ft *Fault) error {
+	if ft.Err != nil {
+		return ft.Err
+	}
+	return ErrInjected
+}
+
+func (f *FS) MkdirAll(path string) error {
+	if ft := f.check(OpMkdirAll); ft != nil {
+		return errOf(ft)
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *FS) Create(path string) (seglog.File, error) {
+	if ft := f.check(OpCreate); ft != nil {
+		return nil, errOf(ft)
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) ReadDir(path string) ([]string, error) {
+	if ft := f.check(OpReadDir); ft != nil {
+		return nil, errOf(ft)
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if ft := f.check(OpReadFile); ft != nil {
+		return nil, errOf(ft)
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FS) Truncate(path string, size int64) error {
+	if ft := f.check(OpTruncate); ft != nil {
+		return errOf(ft)
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FS) Remove(path string) error {
+	if ft := f.check(OpRemove); ft != nil {
+		return errOf(ft)
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FS) Rename(oldPath, newPath string) error {
+	if ft := f.check(OpRename); ft != nil {
+		return errOf(ft)
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// file intercepts write/sync/close on files the wrapped FS opened.
+type file struct {
+	fs    *FS
+	inner seglog.File
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if ft := f.fs.check(OpWrite); ft != nil {
+		n := 0
+		if ft.Short > 0 {
+			short := ft.Short
+			if short > len(p) {
+				short = len(p)
+			}
+			// Land the prefix on the real sink: the torn record is
+			// genuinely on disk, exactly like a crash mid-write.
+			n, _ = f.inner.Write(p[:short])
+			if ft.ShortNilError {
+				return n, nil
+			}
+		}
+		return n, errOf(ft)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *file) Sync() error {
+	if ft := f.fs.check(OpSync); ft != nil {
+		return errOf(ft)
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Close() error {
+	if ft := f.fs.check(OpClose); ft != nil {
+		return errOf(ft)
+	}
+	return f.inner.Close()
+}
+
+// Writer wraps a plain io.Writer with the same write-fault model (used to
+// regression-test capture.Recorder's deferred-sink-error surfacing).
+type Writer struct {
+	inner interface {
+		Write([]byte) (int, error)
+	}
+
+	mu     sync.Mutex
+	writes int
+	faults []Fault
+}
+
+// NewWriter wraps w.
+func NewWriter(w interface{ Write([]byte) (int, error) }) *Writer {
+	return &Writer{inner: w}
+}
+
+// Inject arms one OpWrite fault.
+func (w *Writer) Inject(fault Fault) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.faults = append(w.faults, fault)
+}
+
+// Writes reports the write count.
+func (w *Writer) Writes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.writes++
+	n := w.writes
+	var hit *Fault
+	for i := range w.faults {
+		ft := &w.faults[i]
+		if ft.Op != OpWrite {
+			continue
+		}
+		if ft.Nth == 0 || n == ft.Nth || (ft.Sticky && n >= ft.Nth) {
+			hit = ft
+			break
+		}
+	}
+	w.mu.Unlock()
+	if hit == nil {
+		return w.inner.Write(p)
+	}
+	if hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	wrote := 0
+	if hit.Short > 0 {
+		short := hit.Short
+		if short > len(p) {
+			short = len(p)
+		}
+		wrote, _ = w.inner.Write(p[:short])
+		if hit.ShortNilError {
+			return wrote, nil
+		}
+	}
+	return wrote, errOf(hit)
+}

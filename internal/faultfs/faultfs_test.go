@@ -1,0 +1,212 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"migratorydata/internal/cache"
+	"migratorydata/internal/seglog"
+)
+
+func opts(fs seglog.FS) seglog.Options {
+	return seglog.Options{
+		Groups: 2, CacheCapacity: 64,
+		Fsync: seglog.Policy{Mode: seglog.FsyncInterval, Interval: 5 * time.Millisecond},
+		FS:    fs,
+	}
+}
+
+func entry(seq uint64) cache.Entry {
+	return cache.Entry{ID: fmt.Sprintf("id-%d", seq), Epoch: 1, Seq: seq,
+		Timestamp: int64(seq), Payload: []byte("0123456789abcdef")}
+}
+
+// fill appends n entries to group 0 and forces them toward the sink.
+func fill(t *testing.T, l *seglog.Log, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		l.Append(0, "t", entry(uint64(i)))
+	}
+	l.Sync()
+}
+
+func TestInjectCounts(t *testing.T) {
+	fs := New(nil)
+	dir := t.TempDir()
+	l, _, err := seglog.Open(dir, opts(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Count(OpCreate) == 0 || fs.Count(OpWrite) == 0 || fs.Count(OpSync) == 0 {
+		t.Fatalf("operation counting broken: create=%d write=%d sync=%d",
+			fs.Count(OpCreate), fs.Count(OpWrite), fs.Count(OpSync))
+	}
+}
+
+// TestShortWriteNeverCorruptsAckedHistory is the acceptance criterion: an
+// injected short write (a torn record, exactly what a crash mid-write
+// leaves) disables the log without touching what was already written, and
+// recovery replays a contiguous prefix and reports the truncation point.
+func TestShortWriteNeverCorruptsAckedHistory(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	l, _, err := seglog.Open(dir, opts(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 20) // 20 entries flushed and durable before the fault arms
+	if l.Stats().Failed {
+		t.Fatal("log failed before the fault armed")
+	}
+	// From here on, every write tears after 13 bytes — mid-record.
+	fs.Inject(Fault{Op: OpWrite, Nth: 0, Short: 13, Sticky: true})
+	fill(t, l, 20)
+	l.Close()
+	if !l.Stats().Failed {
+		t.Fatal("short write did not disable the log")
+	}
+	if l.Err() == nil {
+		t.Fatal("sticky error not recorded")
+	}
+
+	// Recovery on the real disk: the first 20 entries are intact, the
+	// torn 13 bytes are cut at a record boundary, nothing is corrupt.
+	var seqs []uint64
+	l2, rep, err := seglog.Open(dir, opts(New(nil)),
+		func(gid int, topic string, e cache.Entry) bool { seqs = append(seqs, e.Seq); return true })
+	if err != nil {
+		t.Fatalf("recovery after fault: %v", err)
+	}
+	defer l2.Close()
+	if len(rep.Truncations) != 1 {
+		t.Fatalf("truncations: %+v", rep.Truncations)
+	}
+	if tr := rep.Truncations[0]; tr.File == "" || tr.Offset == 0 {
+		t.Fatalf("truncation lacks file+offset: %+v", tr)
+	}
+	if len(seqs) != 20 {
+		t.Fatalf("recovered %d entries, want exactly the 20 acknowledged before the fault", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("recovered prefix not contiguous: seqs[%d] = %d", i, s)
+		}
+	}
+}
+
+// TestFsyncErrorNeverCorruptsAckedHistory: an fsync failure likewise
+// disables the log; flushed history stays replayable.
+func TestFsyncErrorNeverCorruptsAckedHistory(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	sentinel := errors.New("EIO: device failed")
+	l, _, err := seglog.Open(dir, opts(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 30) // durable before the fault arms
+	fs.Inject(Fault{Op: OpSync, Nth: 0, Err: sentinel, Sticky: true})
+	for i := 31; i <= 40; i++ {
+		l.Append(0, "t", entry(uint64(i)))
+	}
+	l.Sync() // flush + sync: the sync fails and disables the log
+	if !l.Stats().Failed {
+		t.Fatal("fsync error did not disable the log")
+	}
+	if !errors.Is(l.Err(), sentinel) {
+		t.Fatalf("Err() = %v, want the injected sync error", l.Err())
+	}
+	l.Close()
+
+	// Recovery: no torn records (only syncs failed, never writes), and at
+	// minimum the 30 durable entries replay as a contiguous prefix.
+	var seqs []uint64
+	l2, rep, err := seglog.Open(dir, opts(New(nil)),
+		func(gid int, topic string, e cache.Entry) bool { seqs = append(seqs, e.Seq); return true })
+	if err != nil {
+		t.Fatalf("recovery after fsync fault: %v", err)
+	}
+	defer l2.Close()
+	if len(rep.Truncations) != 0 {
+		t.Fatalf("fsync fault produced truncations: %+v", rep.Truncations)
+	}
+	if len(seqs) < 30 {
+		t.Fatalf("recovered %d entries, want >= the 30 durable ones", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("recovered prefix not contiguous: seqs[%d] = %d", i, s)
+		}
+	}
+}
+
+// TestShortWriteNilErrorDetected: a sink that short-writes with a nil
+// error (violating the io.Writer contract) must still fail the log, not
+// silently lose the suffix.
+func TestShortWriteNilErrorDetected(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	l, _, err := seglog.Open(dir, opts(fs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(Fault{Op: OpWrite, Nth: 0, Short: 5, ShortNilError: true, Sticky: true})
+	fill(t, l, 10)
+	l.Close()
+	if !l.Stats().Failed {
+		t.Fatal("short write with nil error went undetected")
+	}
+}
+
+// TestDelayInjection: a delayed write stalls the op without failing it.
+func TestDelayInjection(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+	w.Inject(Fault{Op: OpWrite, Nth: 1, Delay: 20 * time.Millisecond, Short: 1 << 20, ShortNilError: true})
+	start := time.Now()
+	n, err := w.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("delayed write: n=%d err=%v", n, err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay was not applied")
+	}
+	if sink.String() != "hello" {
+		t.Fatalf("sink got %q", sink.String())
+	}
+}
+
+// TestWriterFaults covers the io.Writer wrapper the capture tests use.
+func TestWriterFaults(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink)
+	w.Inject(Fault{Op: OpWrite, Nth: 2, Short: 3, ShortNilError: true})
+	if n, err := w.Write([]byte("first")); n != 5 || err != nil {
+		t.Fatalf("write 1: %d %v", n, err)
+	}
+	if n, err := w.Write([]byte("second")); n != 3 || err != nil {
+		t.Fatalf("write 2 (short, nil error): %d %v", n, err)
+	}
+	if n, err := w.Write([]byte("third")); n != 5 || err != nil {
+		t.Fatalf("write 3: %d %v", n, err)
+	}
+	if sink.String() != "first"+"sec"+"third" {
+		t.Fatalf("sink = %q", sink.String())
+	}
+	if w.Writes() != 3 {
+		t.Fatalf("writes = %d", w.Writes())
+	}
+
+	w2 := NewWriter(&sink)
+	w2.Inject(Fault{Op: OpWrite, Nth: 1})
+	if _, err := w2.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}

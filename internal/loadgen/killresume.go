@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"migratorydata/internal/core"
+	"migratorydata/internal/metrics"
+	"migratorydata/internal/seglog"
+)
+
+// killResumeDirEnv carries the durable data directory into the re-exec'd
+// server child. Its presence IS the child-mode switch.
+const killResumeDirEnv = "MIGRATORYDATA_KILLRESUME_DIR"
+
+// RunServerProcessIfRequested turns the current process into the
+// kill-and-resume scenario's server child when the handshake environment
+// variable is set; otherwise it returns immediately. Call it from
+// TestMain before m.Run() in every test binary that runs the scenario —
+// the scenario re-execs its own binary to get a real process it can
+// SIGKILL mid-traffic. In child mode this function never returns.
+func RunServerProcessIfRequested() {
+	dir := os.Getenv(killResumeDirEnv)
+	if dir == "" {
+		return
+	}
+	e, err := core.Open(core.Config{
+		ServerID:  "killresume",
+		IoThreads: 2, Workers: 2, TopicGroups: 16, CacheCapacity: 8192,
+		DataDir: dir,
+		Fsync:   seglog.Policy{Mode: seglog.FsyncAlways},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killresume server: %v\n", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killresume server: %v\n", err)
+		os.Exit(1)
+	}
+	// The parent scrapes this line for the dial address — the handshake
+	// that also proves the binary supports child mode.
+	fmt.Printf("ADDR %s\n", l.Addr())
+	e.Serve(l, "raw")
+	os.Exit(0)
+}
+
+// serverProc is one re-exec'd server child the scenario can SIGKILL.
+type serverProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startServerProc re-execs the current binary as a durable server over
+// dir and waits for its ADDR handshake.
+func startServerProc(dir string) (*serverProc, error) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), killResumeDirEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addrCh <- a
+				break
+			}
+		}
+		// Keep draining so a chatty child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case a := <-addrCh:
+		return &serverProc{cmd: cmd, addr: a}, nil
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, errors.New("loadgen: server child never reported an address — the binary's TestMain must call RunServerProcessIfRequested")
+	}
+}
+
+// kill SIGKILLs the child (no shutdown hooks, no final flush — the crash
+// the durable log must survive) and reaps it.
+func (p *serverProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// killAndResumeScenario is the crash-recovery shape: a real server process
+// with durable history enabled is SIGKILLed mid-traffic and restarted over
+// the same data directory. Every subscriber must reconnect and resume with
+// position, observing zero reliable gaps — the recovered history and the
+// post-restart stream are totally ordered by the epoch bump, so a
+// same-epoch forward skip (a lost message) can never appear.
+func killAndResumeScenario() NamedScenario {
+	th := ScenarioThresholds{MaxReliableGaps: 0, MinDelivered: 50}
+	return NamedScenario{
+		Name:        "kill-and-resume",
+		Description: "SIGKILL a durable server mid-traffic and restart it over the same data dir; every subscriber resumes with position and zero reliable gaps",
+		Thresholds:  th,
+		run: func(opts ScenarioOptions) (ScenarioReport, error) {
+			return runKillAndResume(opts, th)
+		},
+	}
+}
+
+func runKillAndResume(opts ScenarioOptions, th ScenarioThresholds) (ScenarioReport, error) {
+	rep := ScenarioReport{Name: "kill-and-resume", Thresholds: th}
+	dir, err := os.MkdirTemp("", "killresume-*")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+
+	proc, err := startServerProc(dir)
+	if err != nil {
+		return rep, err
+	}
+	defer func() { proc.kill() }()
+
+	// The fleet dials whatever address the CURRENT server process
+	// reported; the restart swaps it, so failover reconnects land on the
+	// new process.
+	var addr atomic.Value
+	addr.Store(proc.addr)
+	attach := func(int) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr.Load().(string), 250*time.Millisecond)
+	}
+
+	topics := topicNames("kr", 4)
+	subs := scaled(40, opts.Scale, len(topics))
+	hist := &metrics.Histogram{}
+	bs, err := StartBenchsub(SubConfig{
+		Connections:      subs,
+		Topics:           topics,
+		Attach:           attach,
+		Histogram:        hist,
+		Failover:         true,
+		ReconnectWaitMax: 50 * time.Millisecond,
+		Seed:             opts.Seed,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer bs.Close()
+
+	pubCfg := PubConfig{
+		Topics:   topics,
+		Interval: 20 * time.Millisecond,
+		Attach:   attach,
+		Reliable: true, // acked publications: the at-least-once shape the log rides behind
+		Seed:     opts.Seed,
+	}
+	bp, err := StartBenchpub(pubCfg)
+	if err != nil {
+		return rep, err
+	}
+	defer bp.Close()
+
+	warmup := window(500*time.Millisecond, opts.Warmup)
+	measure := window(3*time.Second, opts.Measure)
+	time.Sleep(warmup)
+	bs.StartRecording()
+	receivedBefore := bs.Received()
+
+	// Phase 1: live traffic against the first process.
+	time.Sleep(measure / 3)
+
+	// The crash: SIGKILL mid-traffic (no flush, no goodbye), then restart
+	// over the same data directory.
+	reconBefore := bs.Reconnects()
+	proc.kill()
+	proc2, err := startServerProc(dir)
+	if err != nil {
+		return rep, fmt.Errorf("restart after kill: %w", err)
+	}
+	proc = proc2 // the deferred kill now targets the live process
+	addr.Store(proc2.addr)
+
+	// The reliable publisher died with its connection; a fresh one drives
+	// the post-restart stream (its topics' sequences continue under the
+	// bumped boot epoch).
+	bp2, err := StartBenchpub(pubCfg)
+	if err != nil {
+		return rep, fmt.Errorf("publisher after restart: %w", err)
+	}
+	defer bp2.Close()
+	receivedAtRestart := bs.Received()
+
+	// Phase 2: the fleet reconnects, resumes with position, and consumes
+	// the post-restart stream.
+	time.Sleep(measure * 2 / 3)
+	bs.StopRecording()
+
+	rep.WindowReceived = bs.Received() - receivedBefore
+	postRestart := bs.Received() - receivedAtRestart
+	reconnects := bs.Reconnects() - reconBefore
+	rep.Result = Result{
+		Subscribers: subs,
+		Topics:      len(topics),
+		Latency:     hist.Snapshot(),
+		MsgsPerSec:  float64(rep.WindowReceived) / measure.Seconds(),
+		Received:    bs.Received(),
+		Recovered:   bs.Recovered(),
+		Reconnects:  bs.Reconnects(),
+		Gaps:        bs.Gaps(),
+	}
+
+	if rep.Gaps > th.MaxReliableGaps {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("reliable-class gaps %d exceed threshold %d: the crash lost acknowledged-and-delivered history", rep.Gaps, th.MaxReliableGaps))
+	}
+	if rep.WindowReceived < th.MinDelivered {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("window delivered %d below minimum %d (scenario did not exercise delivery)", rep.WindowReceived, th.MinDelivered))
+	}
+	if reconnects < int64(subs) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("only %d of %d subscribers reconnected after the kill", reconnects, subs))
+	}
+	if postRestart == 0 {
+		rep.Violations = append(rep.Violations,
+			"no deliveries after the restart: the recovered server never resumed the stream")
+	}
+	return rep, nil
+}

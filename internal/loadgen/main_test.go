@@ -1,0 +1,14 @@
+package loadgen
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain gives the kill-and-resume scenario its server child: when the
+// scenario re-execs this test binary with the handshake env var set,
+// RunServerProcessIfRequested takes over the process and never returns.
+func TestMain(m *testing.M) {
+	RunServerProcessIfRequested()
+	os.Exit(m.Run())
+}

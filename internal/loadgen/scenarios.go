@@ -89,9 +89,11 @@ func (n NamedScenario) Run(opts ScenarioOptions) (ScenarioReport, error) {
 	return n.run(opts)
 }
 
-// Scenarios returns the scenario library: five realistic traffic shapes,
-// each self-contained (own engine, own thresholds). See
-// docs/BENCHMARKS.md, "The scenario library".
+// Scenarios returns the scenario library: six realistic traffic shapes,
+// each self-contained (own engine or server process, own thresholds). See
+// docs/BENCHMARKS.md, "The scenario library". The kill-and-resume entry
+// re-execs the test binary as its server child, so any binary running the
+// library must call RunServerProcessIfRequested from TestMain.
 func Scenarios() []NamedScenario {
 	return []NamedScenario{
 		diurnalRampScenario(),
@@ -99,6 +101,7 @@ func Scenarios() []NamedScenario {
 		reconnectStormScenario(),
 		churnMobileScenario(),
 		mixedFeedsScenario(),
+		killAndResumeScenario(),
 	}
 }
 

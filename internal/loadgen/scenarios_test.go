@@ -56,13 +56,27 @@ func TestScenarioReconnectStorm(t *testing.T) {
 	}
 }
 
-// TestScenarioLibraryComplete pins the library's composition: five named
+// TestScenarioKillAndResume is the crash-recovery regression at reduced
+// scale: a real durable server process is SIGKILLed mid-traffic and
+// restarted over the same data directory; the whole fleet must reconnect,
+// resume with position, and observe zero reliable gaps across the crash.
+func TestScenarioKillAndResume(t *testing.T) {
+	rep := runScenarioGreen(t, "kill-and-resume")
+	if rep.Reconnects == 0 {
+		t.Fatal("kill-and-resume recorded zero reconnects; the crash never happened")
+	}
+	if rep.Gaps != 0 {
+		t.Fatalf("kill-and-resume opened %d reliable gaps across the crash", rep.Gaps)
+	}
+}
+
+// TestScenarioLibraryComplete pins the library's composition: six named
 // scenarios, each with a description and a MinDelivered floor so no
 // scenario can pass vacuously, and reliable gaps bounded at zero
 // everywhere — the delivery guarantee admits no loss on reliable feeds,
 // whatever the traffic shape.
 func TestScenarioLibraryComplete(t *testing.T) {
-	want := []string{"diurnal-ramp", "flash-crowd", "reconnect-storm", "churn-mobile", "mixed-feeds"}
+	want := []string{"diurnal-ramp", "flash-crowd", "reconnect-storm", "churn-mobile", "mixed-feeds", "kill-and-resume"}
 	lib := Scenarios()
 	if len(lib) != len(want) {
 		t.Fatalf("library has %d scenarios, want %d", len(lib), len(want))

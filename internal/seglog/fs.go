@@ -1,0 +1,73 @@
+package seglog
+
+import (
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations the segment log
+// performs, so tests can interpose a fault-injecting wrapper
+// (internal/faultfs) between the log and the disk: failing, short-writing,
+// or delaying the Nth operation exercises exactly the torn-write and
+// sink-error paths a real crash produces, without needing the crash.
+// OSFS is the production implementation.
+type FS interface {
+	// MkdirAll creates path and its parents.
+	MkdirAll(path string) error
+	// Create creates (truncating) path for writing.
+	Create(path string) (File, error)
+	// ReadDir lists the names of path's entries, sorted. A missing
+	// directory is an error (callers MkdirAll first).
+	ReadDir(path string) ([]string, error)
+	// ReadFile reads path whole (segments are bounded by SegmentMaxBytes,
+	// so recovery reads each one in a single call).
+	ReadFile(path string) ([]byte, error)
+	// Truncate cuts path to size bytes (recovery discards a torn tail).
+	Truncate(path string, size int64) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Rename atomically replaces newPath with oldPath (the epoch file is
+	// updated via write-temp-then-rename).
+	Rename(oldPath, newPath string) error
+}
+
+// File is an open segment (or epoch) file.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes written data to stable storage (the fsync policy's
+	// unit of durability).
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real-disk FS used outside tests.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OSFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }

@@ -1,0 +1,318 @@
+package seglog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"migratorydata/internal/cache"
+)
+
+// Directory layout under the data dir:
+//
+//	EPOCH                    epoch file (see below)
+//	g00042/00000007.seg      group 42, segment 7
+//
+// Segment indexes only grow (a boot starts a fresh segment after the
+// highest index it saw, even past a truncated tail), so a group's segment
+// files sorted by name are sorted by write time.
+
+// epochFileName holds the boot-epoch record: "MDEP" | u32 epoch |
+// u32 crc32c(epoch). It is written synced-then-renamed at every Open, so a
+// crash mid-update leaves either the old epoch or the new one — and even a
+// lost file only degrades to "no stored epoch", which the segments' own
+// max epoch then bounds from below.
+const epochFileName = "EPOCH"
+
+// groupDir returns the directory of one group's segments.
+func groupDir(dir string, gid int) string {
+	return path.Join(dir, fmt.Sprintf("g%05d", gid))
+}
+
+// segPath returns the path of one segment file.
+func segPath(dir string, gid, index int) string {
+	return path.Join(groupDir(dir, gid), fmt.Sprintf("%08d.seg", index))
+}
+
+// ApplyFunc receives each recovered entry in on-disk order (per group:
+// sequencing order). Returning false marks the entry stale (rejected by
+// the cache's ordering rule); recovery counts it and continues.
+type ApplyFunc func(gid int, topic string, e cache.Entry) bool
+
+// Truncation records one point where recovery cut a torn or corrupt tail.
+type Truncation struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+// RecoveryReport summarizes what Open replayed.
+type RecoveryReport struct {
+	// Entries counts entries applied; StaleEntries those the apply
+	// function rejected; Bytes the valid record bytes scanned.
+	Entries      int64
+	StaleEntries int64
+	Bytes        int64
+	// Segments counts segment files surviving recovery; RemovedSegments
+	// those deleted because they were unreadable or followed a truncation
+	// point.
+	Segments        int
+	RemovedSegments int
+	// Truncations lists every torn/corrupt cut point (file + offset).
+	Truncations []Truncation
+	// MaxEpoch is the newest epoch seen on disk (segments or epoch file);
+	// BootEpoch is MaxEpoch+1 — the epoch this boot sequences at. The
+	// bump makes the recovered prefix and the new stream totally ordered
+	// even though write-behind may have lost an un-synced tail that
+	// subscribers already observed: a resuming subscriber sees a fresh
+	// epoch, never a same-epoch gap or duplicate.
+	MaxEpoch  uint32
+	BootEpoch uint32
+}
+
+// Open opens (creating if needed) the segment log in dir, replays every
+// group's segments through apply in order, truncates each group at its
+// first torn or corrupt record, persists the bumped boot epoch, and
+// returns the running log. Configuration mismatches — a segment stamped
+// with a different group count or cache capacity — fail loudly with the
+// file, never silently replay. apply may be nil (open without rebuilding
+// state; used by tools and tests).
+func Open(dir string, opts Options, apply ApplyFunc) (*Log, *RecoveryReport, error) {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("seglog: %w", err)
+	}
+
+	rep := &RecoveryReport{}
+	if epoch, ok := readEpochFile(fs, path.Join(dir, epochFileName)); ok && epoch > rep.MaxEpoch {
+		rep.MaxEpoch = epoch
+	}
+
+	l := &Log{
+		dir:     dir,
+		opts:    opts,
+		fs:      fs,
+		groups:  make([]*groupLog, opts.Groups),
+		kick:    make(chan int, opts.Groups),
+		syncReq: make(chan chan error),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for gid := range l.groups {
+		l.groups[gid] = &groupLog{gid: gid}
+	}
+
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seglog: %w", err)
+	}
+	for _, name := range names {
+		gid, ok := parseGroupDir(name)
+		if !ok {
+			continue
+		}
+		if gid >= opts.Groups {
+			return nil, nil, fmt.Errorf(
+				"seglog: %s holds group directory %s but the log was opened with %d topic groups — the data dir was written under a different -topic-groups configuration",
+				dir, name, opts.Groups)
+		}
+		if err := l.recoverGroup(gid, rep, apply); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rep.BootEpoch = rep.MaxEpoch + 1
+	if err := writeEpochFile(fs, dir, rep.BootEpoch); err != nil {
+		return nil, nil, fmt.Errorf("seglog: persisting boot epoch: %w", err)
+	}
+	l.bootEpoch = rep.BootEpoch
+	l.recoveredEntries = rep.Entries
+	l.truncations = int64(len(rep.Truncations))
+
+	go l.writeLoop()
+	return l, rep, nil
+}
+
+// recoverGroup scans one group's segments in index order, applying valid
+// records and truncating the group at its first torn or corrupt record.
+// Later segments of a truncated group are removed: the truncation means
+// the writer died mid-record, so nothing with a higher index was written
+// after it — keeping a stray suffix would fake continuity across the cut.
+func (l *Log) recoverGroup(gid int, rep *RecoveryReport, apply ApplyFunc) error {
+	g := l.groups[gid]
+	g.dirMade = true
+	names, err := l.fs.ReadDir(groupDir(l.dir, gid))
+	if err != nil {
+		return fmt.Errorf("seglog: %w", err)
+	}
+	var indexes []int
+	for _, name := range names {
+		if idx, ok := parseSegName(name); ok {
+			indexes = append(indexes, idx)
+		}
+	}
+	sort.Ints(indexes)
+	truncated := false
+	for _, idx := range indexes {
+		if idx >= g.next {
+			g.next = idx + 1
+		}
+		p := segPath(l.dir, gid, idx)
+		if truncated {
+			if err := l.fs.Remove(p); err != nil {
+				return fmt.Errorf("seglog: removing post-truncation segment: %w", err)
+			}
+			rep.RemovedSegments++
+			continue
+		}
+		ok, err := l.recoverSegment(gid, p, rep, apply)
+		if err != nil {
+			return err
+		}
+		truncated = !ok
+	}
+	return nil
+}
+
+// recoverSegment replays one segment file. It returns ok == false when the
+// file ended in a truncation (the group's later segments must be removed),
+// and a non-nil error only for loud failures: unreadable files, config
+// mismatches, or a cut that cannot be applied to disk.
+func (l *Log) recoverSegment(gid int, p string, rep *RecoveryReport, apply ApplyFunc) (bool, error) {
+	data, err := l.fs.ReadFile(p)
+	if err != nil {
+		return false, fmt.Errorf("seglog: %w", err)
+	}
+	hdr, err := parseSegHeader(data)
+	if err != nil {
+		// An unreadable header means nothing in the file is attributable:
+		// the whole file is the torn tail.
+		return false, l.cutAt(p, 0, err.Error(), rep)
+	}
+	if int(hdr.numGroups) != l.opts.Groups || int(hdr.cacheCap) != l.opts.CacheCapacity {
+		return false, fmt.Errorf(
+			"seglog: %s was written under topic-groups=%d cache-capacity=%d; the log is opened with topic-groups=%d cache-capacity=%d — refusing to replay history into mismatched rings",
+			p, hdr.numGroups, hdr.cacheCap, l.opts.Groups, l.opts.CacheCapacity)
+	}
+	if int(hdr.group) != gid {
+		return false, fmt.Errorf("seglog: %s declares group %d but lives in group %d's directory", p, hdr.group, gid)
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		topic, e, n, rerr := readRecord(data[off:])
+		if rerr != nil {
+			return false, l.cutAt(p, int64(off), rerr.Error(), rep)
+		}
+		if e.Epoch > rep.MaxEpoch {
+			rep.MaxEpoch = e.Epoch
+		}
+		if apply == nil || apply(gid, topic, e) {
+			rep.Entries++
+		} else {
+			rep.StaleEntries++
+		}
+		off += n
+	}
+	rep.Bytes += int64(off - segHeaderLen)
+	rep.Segments++
+	l.segments.Add(1)
+	l.diskBytes.Add(int64(off))
+	return true, nil
+}
+
+// cutAt records a truncation at (file, off) and applies it to disk: the
+// file is truncated there, or removed entirely when nothing before the cut
+// is attributable (off inside the header). Everything before the cut is
+// the proven-consistent prefix; it has already been applied by the caller.
+func (l *Log) cutAt(file string, off int64, reason string, rep *RecoveryReport) error {
+	rep.Truncations = append(rep.Truncations, Truncation{File: file, Offset: off, Reason: reason})
+	if l.opts.Logger != nil {
+		l.opts.Logger.Warn("seglog: truncating at first invalid record",
+			"file", file, "offset", off, "reason", reason)
+	}
+	if off <= segHeaderLen {
+		if err := l.fs.Remove(file); err != nil {
+			return fmt.Errorf("seglog: removing truncated segment: %w", err)
+		}
+		rep.RemovedSegments++
+		return nil
+	}
+	if err := l.fs.Truncate(file, off); err != nil {
+		return fmt.Errorf("seglog: truncating %s at %d: %w", file, off, err)
+	}
+	rep.Bytes += off - segHeaderLen
+	rep.Segments++
+	l.segments.Add(1)
+	l.diskBytes.Add(off)
+	return nil
+}
+
+// parseGroupDir parses a "g00042" directory name.
+func parseGroupDir(name string) (int, bool) {
+	if len(name) != 6 || name[0] != 'g' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// parseSegName parses a "00000007.seg" segment file name.
+func parseSegName(name string) (int, bool) {
+	if !strings.HasSuffix(name, ".seg") || len(name) != 12 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[:8])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// readEpochFile reads and validates the epoch file; any damage (missing,
+// torn, bad crc) degrades to "no stored epoch" — the segments' max epoch
+// still bounds the bump from below.
+func readEpochFile(fs FS, p string) (uint32, bool) {
+	b, err := fs.ReadFile(p)
+	if err != nil || len(b) != 12 || string(b[:4]) != "MDEP" {
+		return 0, false
+	}
+	if crc32.Checksum(b[4:8], castagnoli) != binary.LittleEndian.Uint32(b[8:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(b[4:]), true
+}
+
+// writeEpochFile persists epoch durably: temp file, write, sync, rename.
+func writeEpochFile(fs FS, dir string, epoch uint32) error {
+	tmp := path.Join(dir, epochFileName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	b := append([]byte(nil), "MDEP"...)
+	b = binary.LittleEndian.AppendUint32(b, epoch)
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[4:8], castagnoli))
+	n, err := f.Write(b)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path.Join(dir, epochFileName))
+}

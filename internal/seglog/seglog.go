@@ -1,0 +1,622 @@
+// Package seglog is the durable-history layer: a per-topic-group
+// append-only segment log written WRITE-BEHIND from the history cache
+// rings. The paper's recovery story — resume-with-position over cached
+// (epoch, seq) history (§5.2.2) — otherwise dies with the process; the
+// segment log lets a restarted server replay its history directory and
+// serve the same contiguous-prefix catch-up its in-memory rings did before
+// the crash.
+//
+// The design mirrors the ingest path's discipline (docs/ARCHITECTURE.md,
+// "The durability path"):
+//
+//   - Nothing on the publish critical path. Entries are staged by the
+//     per-group FIFO drainer — the goroutine already delivering the
+//     group's backlog outside every lock — as pure byte appends into a
+//     per-group staging buffer. The group lock, the 1-acquisition-per-
+//     publish invariant, and the ≤2-allocs/op budget are untouched.
+//
+//   - One writer goroutine owns the disk. Staged buffers are handed off
+//     whole (swap, not copy) and written sequentially; fsync runs under a
+//     configurable policy (never / every interval / after every flush).
+//
+//   - Acks are not durability barriers. A publisher's PUBACK means
+//     "sequenced and cached", exactly as before; the log trails delivery
+//     by at most the staging window. What crash recovery guarantees is a
+//     consistent PREFIX plus an epoch bump, never a corrupted stream.
+//
+//   - A sink error is terminal, not corrupting. The first write/sync
+//     failure disables the log (sticky error, files closed); history
+//     already on disk stays replayable and the server keeps serving from
+//     memory.
+package seglog
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"migratorydata/internal/cache"
+)
+
+const (
+	// flushThreshold hands a staging buffer to the writer once it holds
+	// this much; below it, the age tick flushes instead.
+	flushThreshold = 64 << 10
+	// maxStagedBytes is the per-group staging high-water mark: a drainer
+	// that outruns the disk this far blocks (sleep-poll, outside the
+	// staging lock) rather than growing the buffer without bound —
+	// durability lag is bounded by backpressure, not by memory.
+	maxStagedBytes = 4 << 20
+	// flushTick bounds how long a partially-filled staging buffer may sit
+	// before reaching the writer, so a quiet topic group still lands on
+	// disk promptly.
+	flushTick = 25 * time.Millisecond
+
+	// DefaultSegmentMaxBytes rotates a segment once it reaches 8 MiB.
+	DefaultSegmentMaxBytes = 8 << 20
+	// DefaultSegmentMaxAge rotates a written-to segment after 10 minutes.
+	DefaultSegmentMaxAge = 10 * time.Minute
+	// DefaultFsyncInterval is the periodic-sync cadence of the default
+	// policy.
+	DefaultFsyncInterval = 100 * time.Millisecond
+)
+
+// FsyncMode selects when flushed segment data is forced to stable storage.
+type FsyncMode uint8
+
+const (
+	// FsyncInterval (the default) syncs dirty segments on a timer: the
+	// crash-loss window is bounded by the interval, and syncs amortize
+	// across every record flushed within it.
+	FsyncInterval FsyncMode = iota
+	// FsyncNever leaves syncing to the OS page cache — cheapest, and the
+	// loss window is whatever the kernel holds dirty.
+	FsyncNever
+	// FsyncAlways syncs after every flushed buffer — the smallest loss
+	// window (the staging hand-off), at a sync per flush.
+	FsyncAlways
+)
+
+// Policy is a parsed fsync policy.
+type Policy struct {
+	Mode FsyncMode
+	// Interval is the FsyncInterval cadence (0 selects the default).
+	Interval time.Duration
+}
+
+// String renders the policy in the -fsync flag syntax.
+func (p Policy) String() string {
+	switch p.Mode {
+	case FsyncNever:
+		return "never"
+	case FsyncAlways:
+		return "always"
+	default:
+		iv := p.Interval
+		if iv <= 0 {
+			iv = DefaultFsyncInterval
+		}
+		return iv.String()
+	}
+}
+
+// ParsePolicy parses the -fsync flag: "never", "always", "interval" (the
+// default cadence), or a duration like "50ms" (sync every 50ms). The empty
+// string selects the default interval policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.TrimSpace(s) {
+	case "", "interval":
+		return Policy{Mode: FsyncInterval}, nil
+	case "never":
+		return Policy{Mode: FsyncNever}, nil
+	case "always":
+		return Policy{Mode: FsyncAlways}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return Policy{}, fmt.Errorf("seglog: bad fsync policy %q (want never, always, interval, or a positive duration)", s)
+	}
+	return Policy{Mode: FsyncInterval, Interval: d}, nil
+}
+
+// Options parametrizes a Log. Zero values select the defaults.
+type Options struct {
+	// Groups and CacheCapacity stamp every segment header; recovery
+	// refuses segments written under different values. They must match
+	// the engine's TopicGroups / CacheCapacity.
+	Groups        int
+	CacheCapacity int
+	// Fsync is the durability policy (zero value: interval, 100ms).
+	Fsync Policy
+	// SegmentMaxBytes / SegmentMaxAge bound one segment file.
+	SegmentMaxBytes int64
+	SegmentMaxAge   time.Duration
+	// FS overrides the filesystem (fault injection); nil selects OSFS.
+	FS FS
+	// Logger receives recovery and failure events.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Groups <= 0 {
+		o.Groups = cache.DefaultTopicGroups
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = cache.DefaultPerTopicCapacity
+	}
+	if o.Fsync.Mode == FsyncInterval && o.Fsync.Interval <= 0 {
+		o.Fsync.Interval = DefaultFsyncInterval
+	}
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if o.SegmentMaxAge <= 0 {
+		o.SegmentMaxAge = DefaultSegmentMaxAge
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// groupLog is one topic group's staging buffer plus its writer-side
+// segment state. The staging mutex is the only synchronization between
+// drainers and the writer goroutine; it guards byte appends and the
+// buffer swap — never disk writes, never channel waits.
+type groupLog struct {
+	gid int
+
+	//vet:lockscope deny=encode,push,write,time,block
+	mu        sync.Mutex
+	buf       []byte // staged records, swapped out whole on hand-off
+	ends      []int  // record end offsets in buf (rotation splits only here)
+	spare     []byte // recycled drained buffers, so steady state allocates nothing
+	spareEnds []int
+	queued    bool // a kick for this group is already in flight
+
+	// Writer-goroutine-owned; no locking.
+	f        File
+	path     string
+	size     int64
+	next     int // next segment file index
+	openedAt time.Time
+	dirty    bool // written since the last sync
+	dirMade  bool
+}
+
+// Log is an open segment log. Construct with Open (which also performs
+// recovery); append from the delivery drainers; Close flushes and syncs
+// the tail.
+type Log struct {
+	dir  string
+	opts Options
+	fs   FS
+
+	groups  []*groupLog
+	kick    chan int
+	syncReq chan chan error
+	stop    chan struct{}
+	done    chan struct{}
+
+	closed atomic.Bool
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+
+	appends       atomic.Int64
+	appendedBytes atomic.Int64
+	dropped       atomic.Int64
+	flushes       atomic.Int64
+	flushedBytes  atomic.Int64
+	fsyncs        atomic.Int64
+	segments      atomic.Int64
+	diskBytes     atomic.Int64
+
+	// Set once by Open, immutable afterwards.
+	recoveredEntries int64
+	truncations      int64
+	bootEpoch        uint32
+}
+
+// BootEpoch is the epoch this process must sequence at: strictly above
+// every epoch recovered from disk and every epoch a previous boot could
+// have sequenced at. Write-behind means an un-synced tail can be lost in
+// a crash after subscribers observed it; restarting in a FRESH epoch makes
+// the recovered prefix and the new stream totally ordered — a resuming
+// subscriber sees an epoch bump, never a same-epoch gap or a duplicate
+// (epoch, seq).
+func (l *Log) BootEpoch() uint32 { return l.bootEpoch }
+
+// Append stages one sequenced entry for group gid. It is called by the
+// group's delivery drainer in sequencing order (at most one drainer per
+// group at a time — the same contract Engine.Deliver relies on), so the
+// on-disk record order within a group matches the cache's. The staging
+// lock is held only for the byte append; when the disk is behind by more
+// than the high-water mark, Append blocks OUTSIDE the lock until the
+// writer catches up. On a closed or failed log, Append drops the entry.
+//
+//vet:hotpath
+func (l *Log) Append(gid int, topic string, e cache.Entry) {
+	if gid < 0 || gid >= len(l.groups) {
+		return
+	}
+	g := l.groups[gid]
+	for {
+		if l.closed.Load() || l.failed.Load() {
+			l.dropped.Add(1)
+			return
+		}
+		g.mu.Lock()
+		if len(g.buf) < maxStagedBytes {
+			break
+		}
+		g.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	was := len(g.buf)
+	g.buf = appendRecord(g.buf, topic, e)
+	g.ends = append(g.ends, len(g.buf))
+	added := len(g.buf) - was
+	kick := false
+	if len(g.buf) >= flushThreshold && !g.queued {
+		g.queued = true
+		kick = true
+	}
+	g.mu.Unlock()
+	l.appends.Add(1)
+	l.appendedBytes.Add(int64(added))
+	if kick {
+		// The queued flag guarantees at most one in-flight kick per group
+		// and the channel holds one slot per group, so this cannot block;
+		// the default arm is a belt against misuse (the age tick would
+		// pick the buffer up anyway).
+		select {
+		case l.kick <- gid:
+		default:
+		}
+	}
+}
+
+// writeLoop is the single writer goroutine: it drains kicked groups,
+// age-flushes quiet ones, runs the periodic fsync, and performs the final
+// flush+sync at Close.
+func (l *Log) writeLoop() {
+	defer close(l.done)
+	flush := time.NewTicker(flushTick)
+	defer flush.Stop()
+	var syncC <-chan time.Time
+	if l.opts.Fsync.Mode == FsyncInterval {
+		st := time.NewTicker(l.opts.Fsync.Interval)
+		defer st.Stop()
+		syncC = st.C
+	}
+	for {
+		select {
+		case gid := <-l.kick:
+			l.flushGroup(gid)
+		case <-flush.C:
+			l.flushAll()
+		case <-syncC:
+			l.syncAll()
+		case ch := <-l.syncReq:
+			l.flushAll()
+			l.syncAll()
+			ch <- l.Err()
+		case <-l.stop:
+			l.flushAll()
+			l.syncAll()
+			l.closeFiles()
+			return
+		}
+	}
+}
+
+// flushAll flushes every group with staged bytes.
+func (l *Log) flushAll() {
+	for gid := range l.groups {
+		l.flushGroup(gid)
+	}
+}
+
+// flushGroup swaps out gid's staged buffer and writes it to the group's
+// segments, rotating at record boundaries when the size or age bound is
+// hit.
+func (l *Log) flushGroup(gid int) {
+	g := l.groups[gid]
+	g.mu.Lock()
+	buf, ends := g.buf, g.ends
+	g.buf = g.spare[:0:cap(g.spare)]
+	g.ends = g.spareEnds[:0:cap(g.spareEnds)]
+	g.spare, g.spareEnds = nil, nil
+	g.queued = false
+	g.mu.Unlock()
+	if len(buf) == 0 || l.failed.Load() {
+		l.recycle(g, buf, ends)
+		return
+	}
+	err := l.writeOut(g, buf, ends)
+	l.recycle(g, buf, ends)
+	if err != nil {
+		l.fail(err)
+	}
+}
+
+// recycle returns drained buffers to the group for the next staging
+// round.
+func (l *Log) recycle(g *groupLog, buf []byte, ends []int) {
+	if cap(buf) == 0 && cap(ends) == 0 {
+		return
+	}
+	g.mu.Lock()
+	if cap(g.buf) == 0 && cap(buf) > 0 {
+		// The group staged nothing since the swap: hand the buffer back
+		// as the active one.
+		g.buf = buf[:0]
+	} else if cap(g.spare) < cap(buf) {
+		g.spare = buf[:0]
+	}
+	if cap(g.ends) == 0 && cap(ends) > 0 {
+		g.ends = ends[:0]
+	} else if cap(g.spareEnds) < cap(ends) {
+		g.spareEnds = ends[:0]
+	}
+	g.mu.Unlock()
+}
+
+// writeOut writes one drained buffer to g's segments, splitting only at
+// the staged record boundaries: a record is never torn across segments,
+// so recovery treats every segment independently. Runs on the writer
+// goroutine with no locks held.
+func (l *Log) writeOut(g *groupLog, buf []byte, ends []int) error {
+	if g.f != nil && time.Since(g.openedAt) >= l.opts.SegmentMaxAge {
+		if err := l.closeSegment(g); err != nil {
+			return err
+		}
+	}
+	start, i := 0, 0
+	for i < len(ends) {
+		if g.f == nil {
+			if err := l.openSegment(g); err != nil {
+				return err
+			}
+		}
+		// Take the longest run of whole records that fits the segment.
+		limit := l.opts.SegmentMaxBytes - g.size
+		j := i
+		for j < len(ends) && int64(ends[j]-start) <= limit {
+			j++
+		}
+		if j == i {
+			// The next record alone does not fit. Rotate a non-empty
+			// segment; an empty one means the record exceeds the bound
+			// by itself — write it whole (records never split).
+			if g.size > segHeaderLen {
+				if err := l.closeSegment(g); err != nil {
+					return err
+				}
+				continue
+			}
+			j = i + 1
+		}
+		chunk := buf[start:ends[j-1]]
+		n, err := g.f.Write(chunk)
+		if n > 0 {
+			g.size += int64(n)
+			g.dirty = true
+			l.diskBytes.Add(int64(n))
+			l.flushedBytes.Add(int64(n))
+		}
+		if err == nil && n < len(chunk) {
+			err = io.ErrShortWrite
+		}
+		if err != nil {
+			return fmt.Errorf("seglog: %s at offset %d: %w", g.path, g.size, err)
+		}
+		start = ends[j-1]
+		i = j
+	}
+	l.flushes.Add(1)
+	if l.opts.Fsync.Mode == FsyncAlways {
+		if err := g.f.Sync(); err != nil {
+			return fmt.Errorf("seglog: sync %s: %w", g.path, err)
+		}
+		l.fsyncs.Add(1)
+		g.dirty = false
+	}
+	return nil
+}
+
+// openSegment creates g's next segment file and writes its header.
+func (l *Log) openSegment(g *groupLog) error {
+	if !g.dirMade {
+		if err := l.fs.MkdirAll(groupDir(l.dir, g.gid)); err != nil {
+			return fmt.Errorf("seglog: %w", err)
+		}
+		g.dirMade = true
+	}
+	path := segPath(l.dir, g.gid, g.next)
+	f, err := l.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("seglog: %w", err)
+	}
+	hdr := appendSegHeader(nil, uint32(g.gid), uint32(l.opts.Groups), uint32(l.opts.CacheCapacity))
+	n, werr := f.Write(hdr)
+	if werr == nil && n < len(hdr) {
+		werr = io.ErrShortWrite
+	}
+	if werr != nil {
+		f.Close()
+		return fmt.Errorf("seglog: %s: writing header: %w", path, werr)
+	}
+	g.f = f
+	g.path = path
+	g.size = segHeaderLen
+	g.next++
+	g.openedAt = time.Now()
+	g.dirty = true
+	l.segments.Add(1)
+	l.diskBytes.Add(segHeaderLen)
+	return nil
+}
+
+// closeSegment syncs (if dirty) and closes g's current segment.
+func (l *Log) closeSegment(g *groupLog) error {
+	if g.f == nil {
+		return nil
+	}
+	if g.dirty && l.opts.Fsync.Mode != FsyncNever {
+		if err := g.f.Sync(); err != nil {
+			g.f.Close()
+			g.f = nil
+			return fmt.Errorf("seglog: sync %s: %w", g.path, err)
+		}
+		l.fsyncs.Add(1)
+	}
+	err := g.f.Close()
+	g.f = nil
+	g.dirty = false
+	if err != nil {
+		return fmt.Errorf("seglog: close %s: %w", g.path, err)
+	}
+	return nil
+}
+
+// syncAll syncs every dirty open segment (the FsyncInterval tick).
+func (l *Log) syncAll() {
+	if l.failed.Load() || l.opts.Fsync.Mode == FsyncNever {
+		return
+	}
+	for _, g := range l.groups {
+		if g.f == nil || !g.dirty {
+			continue
+		}
+		if err := g.f.Sync(); err != nil {
+			l.fail(fmt.Errorf("seglog: sync %s: %w", g.path, err))
+			return
+		}
+		g.dirty = false
+		l.fsyncs.Add(1)
+	}
+}
+
+// closeFiles closes every open segment file (writer goroutine only).
+func (l *Log) closeFiles() {
+	for _, g := range l.groups {
+		if g.f != nil {
+			g.f.Close()
+			g.f = nil
+		}
+	}
+}
+
+// fail records the first sink error and disables the log: files close,
+// staged buffers drop, later Appends drop. Already-written history is
+// never touched — recovery after the fault replays the contiguous prefix
+// (acceptance: an injected fault must not corrupt acknowledged history).
+func (l *Log) fail(err error) {
+	l.errMu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.errMu.Unlock()
+	l.failed.Store(true)
+	if l.opts.Logger != nil {
+		l.opts.Logger.Error("seglog disabled after sink error", "err", err)
+	}
+	l.closeFiles()
+	for _, g := range l.groups {
+		g.mu.Lock()
+		g.buf = g.buf[:0]
+		g.ends = g.ends[:0]
+		g.queued = false
+		g.mu.Unlock()
+	}
+}
+
+// Err returns the first sink error, if any (sticky).
+func (l *Log) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}
+
+// Sync flushes every staged buffer and forces dirty segments to stable
+// storage, returning the log's sticky error. Tests and shutdown paths use
+// it as a durability barrier; the hot path never does.
+func (l *Log) Sync() error {
+	if l.closed.Load() || l.failed.Load() {
+		return l.Err()
+	}
+	ch := make(chan error, 1)
+	select {
+	case l.syncReq <- ch:
+		return <-ch
+	case <-l.done:
+		return l.Err()
+	}
+}
+
+// Close flushes and syncs the tail, closes every segment, and stops the
+// writer. Idempotent; concurrent calls wait for the first to finish.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		<-l.done
+		return l.Err()
+	}
+	close(l.stop)
+	<-l.done
+	return l.Err()
+}
+
+// Stats is a point-in-time gauge of the log (exported through core.Stats
+// as the migratorydata_seglog_* metric families).
+type Stats struct {
+	// Appends counts entries staged; AppendedBytes their encoded size.
+	Appends       int64
+	AppendedBytes int64
+	// Dropped counts entries discarded because the log was closed or
+	// failed when they arrived.
+	Dropped int64
+	// Flushes counts buffer hand-offs written; Fsyncs the syncs issued.
+	Flushes int64
+	Fsyncs  int64
+	// Segments counts live segment files; DiskBytes their total size.
+	Segments  int64
+	DiskBytes int64
+	// StagedBytes gauges bytes staged but not yet handed to the writer.
+	StagedBytes int64
+	// RecoveredEntries / Truncations report what Open replayed and where
+	// it had to cut torn or corrupt tails.
+	RecoveredEntries int64
+	Truncations      int64
+	// Failed reports the log disabled itself after a sink error.
+	Failed bool
+}
+
+// Stats returns the current gauge. The staged-bytes sweep takes each
+// group's staging lock briefly — a cold path, like cache.MemStats.
+func (l *Log) Stats() Stats {
+	var staged int64
+	for _, g := range l.groups {
+		g.mu.Lock()
+		staged += int64(len(g.buf))
+		g.mu.Unlock()
+	}
+	return Stats{
+		Appends:          l.appends.Load(),
+		AppendedBytes:    l.appendedBytes.Load(),
+		Dropped:          l.dropped.Load(),
+		Flushes:          l.flushes.Load(),
+		Fsyncs:           l.fsyncs.Load(),
+		Segments:         l.segments.Load(),
+		DiskBytes:        l.diskBytes.Load(),
+		StagedBytes:      staged,
+		RecoveredEntries: l.recoveredEntries,
+		Truncations:      l.truncations,
+		Failed:           l.failed.Load(),
+	}
+}

@@ -1,0 +1,448 @@
+package seglog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path"
+	"testing"
+	"time"
+
+	"migratorydata/internal/cache"
+)
+
+// testOpts is a small-log configuration used throughout.
+func testOpts() Options {
+	return Options{Groups: 4, CacheCapacity: 64, Fsync: Policy{Mode: FsyncNever}}
+}
+
+// applied collects entries in arrival order for recovery assertions.
+type applied struct {
+	gid   int
+	topic string
+	e     cache.Entry
+}
+
+func collect(dst *[]applied) ApplyFunc {
+	return func(gid int, topic string, e cache.Entry) bool {
+		*dst = append(*dst, applied{gid, topic, e})
+		return true
+	}
+}
+
+// mustOpen opens a log in dir, failing the test on error.
+func mustOpen(t *testing.T, dir string, opts Options, apply ApplyFunc) (*Log, *RecoveryReport) {
+	t.Helper()
+	l, rep, err := Open(dir, opts, apply)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rep
+}
+
+// entry builds a test entry.
+func entry(epoch uint32, seq uint64, payload string) cache.Entry {
+	return cache.Entry{
+		ID: fmt.Sprintf("id-%d-%d", epoch, seq), Epoch: epoch, Seq: seq,
+		Timestamp: int64(seq) * 1000, Payload: []byte(payload), Flags: 1,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := entry(3, 42, "hello durable world")
+	buf := appendRecord(nil, "stocks/AAPL", in)
+	topic, out, n, err := readRecord(buf)
+	if err != nil {
+		t.Fatalf("readRecord: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if topic != "stocks/AAPL" || out.ID != in.ID || out.Epoch != in.Epoch ||
+		out.Seq != in.Seq || out.Timestamp != in.Timestamp || out.Flags != in.Flags ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: got topic=%q entry=%+v", topic, out)
+	}
+	// An empty-payload record must round-trip too (nil payload).
+	buf = appendRecord(buf[:0], "t", cache.Entry{Epoch: 1, Seq: 1})
+	if _, out, _, err = readRecord(buf); err != nil || out.Payload != nil {
+		t.Fatalf("empty payload: err=%v payload=%v", err, out.Payload)
+	}
+}
+
+func TestRecordTornAndCorrupt(t *testing.T) {
+	buf := appendRecord(nil, "t", entry(1, 1, "payload"))
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, _, err := readRecord(buf[:cut]); err != errTorn {
+			t.Fatalf("cut at %d: err = %v, want errTorn", cut, err)
+		}
+	}
+	flip := append([]byte(nil), buf...)
+	flip[len(flip)-1] ^= 0xFF
+	if _, _, _, err := readRecord(flip); err != errCorrupt {
+		t.Fatalf("flipped byte: err = %v, want errCorrupt", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"":         {Mode: FsyncInterval},
+		"interval": {Mode: FsyncInterval},
+		"never":    {Mode: FsyncNever},
+		"always":   {Mode: FsyncAlways},
+		"50ms":     {Mode: FsyncInterval, Interval: 50 * time.Millisecond},
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"nope", "-5ms", "0s"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rep := mustOpen(t, dir, testOpts(), nil)
+	if rep.Entries != 0 || rep.BootEpoch != 1 {
+		t.Fatalf("fresh dir: report %+v", rep)
+	}
+	const n = 100
+	for i := 1; i <= n; i++ {
+		l.Append(2, "alpha", entry(1, uint64(i), "payload"))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := l.Stats()
+	if st.Appends != n || st.Segments != 1 || st.StagedBytes != 0 {
+		t.Fatalf("stats after sync: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var got []applied
+	l2, rep2 := mustOpen(t, dir, testOpts(), collect(&got))
+	defer l2.Close()
+	if rep2.Entries != n || len(rep2.Truncations) != 0 {
+		t.Fatalf("recovery report: %+v", rep2)
+	}
+	if rep2.BootEpoch != 2 || l2.BootEpoch() != 2 {
+		t.Fatalf("boot epoch = %d, want 2 (recovered max 1 + bump)", rep2.BootEpoch)
+	}
+	for i, a := range got {
+		if a.gid != 2 || a.topic != "alpha" || a.e.Seq != uint64(i+1) || a.e.Epoch != 1 {
+			t.Fatalf("entry %d out of order: %+v", i, a)
+		}
+	}
+}
+
+// TestRecoveryEmptyDataDir: a fresh directory recovers to nothing and
+// boots at epoch 1.
+func TestRecoveryEmptyDataDir(t *testing.T) {
+	l, rep := mustOpen(t, t.TempDir(), testOpts(), nil)
+	defer l.Close()
+	if rep.Entries != 0 || rep.Segments != 0 || len(rep.Truncations) != 0 || rep.BootEpoch != 1 {
+		t.Fatalf("empty dir report: %+v", rep)
+	}
+}
+
+// TestEpochBumpPerBoot: every Open bumps the persisted epoch even with no
+// traffic, so two crash-free boots never sequence in the same epoch.
+func TestEpochBumpPerBoot(t *testing.T) {
+	dir := t.TempDir()
+	for boot := uint32(1); boot <= 3; boot++ {
+		l, rep := mustOpen(t, dir, testOpts(), nil)
+		if rep.BootEpoch != boot {
+			t.Fatalf("boot %d got epoch %d", boot, rep.BootEpoch)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoveryTruncatedFinalRecord: a torn tail (the crash window) is cut
+// at the exact record boundary and everything before it survives.
+func TestRecoveryTruncatedFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, testOpts(), nil)
+	for i := 1; i <= 10; i++ {
+		l.Append(0, "t", entry(1, uint64(i), "0123456789abcdef"))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := segPath(dir, 0, 0)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the last record.
+	if err := os.Truncate(seg, int64(len(data)-7)); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []applied
+	l2, rep := mustOpen(t, dir, testOpts(), collect(&got))
+	defer l2.Close()
+	if rep.Entries != 9 || len(got) != 9 {
+		t.Fatalf("recovered %d entries, want 9 (report %+v)", len(got), rep)
+	}
+	if len(rep.Truncations) != 1 {
+		t.Fatalf("truncations: %+v", rep.Truncations)
+	}
+	tr := rep.Truncations[0]
+	if tr.File != seg || tr.Offset <= segHeaderLen || tr.Reason == "" {
+		t.Fatalf("truncation lacks file+offset detail: %+v", tr)
+	}
+	// The cut is persisted: a third boot sees a clean log.
+	l2.Close()
+	l3, rep3 := mustOpen(t, dir, testOpts(), nil)
+	defer l3.Close()
+	if len(rep3.Truncations) != 0 || rep3.Entries != 9 {
+		t.Fatalf("post-cut boot not clean: %+v", rep3)
+	}
+}
+
+// TestRecoveryCorruptCRCMidSegment: a flipped byte mid-segment cuts the
+// segment there — the prefix is the proven-consistent history — and later
+// segments of the group are removed rather than faking continuity.
+func TestRecoveryCorruptCRCMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentMaxBytes = 1 << 10 // force several segments
+	l, _ := mustOpen(t, dir, opts, nil)
+	for i := 1; i <= 200; i++ {
+		l.Append(1, "t", entry(1, uint64(i), "0123456789abcdefghijklmnopqrstuv"))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatalf("want >=3 segments, got %d", l.Stats().Segments)
+	}
+
+	// Flip one payload byte in the middle of the FIRST segment.
+	seg := segPath(dir, 1, 0)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := segHeaderLen + (len(data)-segHeaderLen)/2
+	data[mid] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []applied
+	l2, rep := mustOpen(t, dir, testOpts(), collect(&got))
+	defer l2.Close()
+	if len(rep.Truncations) != 1 {
+		t.Fatalf("truncations: %+v", rep.Truncations)
+	}
+	if tr := rep.Truncations[0]; tr.File != seg || tr.Offset < segHeaderLen {
+		t.Fatalf("truncation lacks file+offset: %+v", tr)
+	}
+	if rep.RemovedSegments == 0 {
+		t.Fatal("post-truncation segments were kept; the cut would fake continuity")
+	}
+	// The applied prefix must be contiguous from seq 1.
+	for i, a := range got {
+		if a.e.Seq != uint64(i+1) {
+			t.Fatalf("recovered prefix not contiguous at %d: seq %d", i, a.e.Seq)
+		}
+	}
+	if len(got) == 0 || len(got) >= 200 {
+		t.Fatalf("recovered %d entries, want a strict non-empty prefix", len(got))
+	}
+}
+
+// TestRecoveryNewerEpochSegment: a group whose later segment carries a
+// newer epoch (the normal shape after a crash-restart cycle) recovers both
+// epochs in order and boots above the newest.
+func TestRecoveryNewerEpochSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, testOpts(), nil)
+	for i := 1; i <= 5; i++ {
+		l.Append(3, "t", entry(1, uint64(i), "epoch-one"))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second boot writes epoch-2 history into a NEW segment file.
+	l2, rep := mustOpen(t, dir, testOpts(), nil)
+	if rep.BootEpoch != 2 {
+		t.Fatalf("second boot epoch = %d", rep.BootEpoch)
+	}
+	for i := 1; i <= 5; i++ {
+		l2.Append(3, "t", entry(2, uint64(i), "epoch-two"))
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []applied
+	l3, rep3 := mustOpen(t, dir, testOpts(), collect(&got))
+	defer l3.Close()
+	if rep3.Entries != 10 || rep3.MaxEpoch != 2 || rep3.BootEpoch != 3 {
+		t.Fatalf("mixed-epoch recovery: %+v", rep3)
+	}
+	for i, a := range got {
+		wantEpoch, wantSeq := uint32(1), uint64(i+1)
+		if i >= 5 {
+			wantEpoch, wantSeq = 2, uint64(i-4)
+		}
+		if a.e.Epoch != wantEpoch || a.e.Seq != wantSeq {
+			t.Fatalf("entry %d = (%d,%d), want (%d,%d)", i, a.e.Epoch, a.e.Seq, wantEpoch, wantSeq)
+		}
+	}
+}
+
+// TestRecoveryConfigMismatch: segments stamped under a different
+// CacheCapacity (or group count) refuse to replay, loudly, naming the
+// file.
+func TestRecoveryConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, testOpts(), nil)
+	l.Append(0, "t", entry(1, 1, "x"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	badCap := testOpts()
+	badCap.CacheCapacity = 128
+	if _, _, err := Open(dir, badCap, nil); err == nil {
+		t.Fatal("CacheCapacity mismatch opened silently")
+	} else if want := segPath(dir, 0, 0); !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("mismatch error does not name the file: %v", err)
+	}
+
+	badGroups := testOpts()
+	badGroups.Groups = 2 // group dirs up to g00003 exist
+	if _, _, err := Open(dir, badGroups, nil); err == nil {
+		t.Fatal("TopicGroups mismatch opened silently")
+	}
+}
+
+// TestSegmentRotationBySize: the writer rotates segments at the size
+// bound and recovery replays across the rotation seamlessly.
+func TestSegmentRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentMaxBytes = 2 << 10
+	l, _ := mustOpen(t, dir, opts, nil)
+	const n = 300
+	for i := 1; i <= n; i++ {
+		l.Append(0, "t", entry(1, uint64(i), "0123456789abcdefghij"))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Stats().Segments; segs < 4 {
+		t.Fatalf("segments = %d, want rotation to several", segs)
+	}
+
+	var got []applied
+	l2, rep := mustOpen(t, dir, opts, collect(&got))
+	defer l2.Close()
+	if rep.Entries != n || len(rep.Truncations) != 0 {
+		t.Fatalf("rotated recovery: %+v", rep)
+	}
+	for i, a := range got {
+		if a.e.Seq != uint64(i+1) {
+			t.Fatalf("order broken across rotation at %d: seq %d", i, a.e.Seq)
+		}
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []Policy{
+		{Mode: FsyncNever},
+		{Mode: FsyncInterval, Interval: 5 * time.Millisecond},
+		{Mode: FsyncAlways},
+	} {
+		dir := t.TempDir()
+		opts := testOpts()
+		opts.Fsync = pol
+		l, _ := mustOpen(t, dir, opts, nil)
+		for i := 1; i <= 50; i++ {
+			l.Append(0, "t", entry(1, uint64(i), "payload"))
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("%v: Sync: %v", pol, err)
+		}
+		st := l.Stats()
+		if pol.Mode == FsyncNever && st.Fsyncs != 0 {
+			t.Errorf("never: %d fsyncs", st.Fsyncs)
+		}
+		if pol.Mode != FsyncNever && st.Fsyncs == 0 {
+			t.Errorf("%v: no fsyncs issued", pol)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("%v: Close: %v", pol, err)
+		}
+		l2, rep := mustOpen(t, dir, opts, nil)
+		if rep.Entries != 50 {
+			t.Fatalf("%v: recovered %d", pol, rep.Entries)
+		}
+		l2.Close()
+	}
+}
+
+// TestStaleEntriesCounted: an apply function that rejects entries (the
+// cache's ordering rule) is counted as stale, not fatal.
+func TestStaleEntriesCounted(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, testOpts(), nil)
+	for i := 1; i <= 4; i++ {
+		l.Append(0, "t", entry(1, uint64(i), "x"))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rejectOdd := func(gid int, topic string, e cache.Entry) bool { return e.Seq%2 == 0 }
+	l2, rep := mustOpen(t, dir, testOpts(), rejectOdd)
+	defer l2.Close()
+	if rep.Entries != 2 || rep.StaleEntries != 2 {
+		t.Fatalf("stale accounting: %+v", rep)
+	}
+}
+
+// TestAppendAfterCloseDropped: appends on a closed log are dropped and
+// counted, never deadlocked.
+func TestAppendAfterCloseDropped(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), testOpts(), nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(0, "t", entry(1, 1, "late"))
+	if st := l.Stats(); st.Dropped != 1 || st.Appends != 0 {
+		t.Fatalf("dropped accounting: %+v", st)
+	}
+}
+
+// TestEpochFileDamageTolerated: a damaged epoch file degrades to the
+// segment-derived epoch rather than failing the boot.
+func TestEpochFileDamageTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, testOpts(), nil)
+	l.Append(0, "t", entry(1, 1, "x"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path.Join(dir, epochFileName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rep := mustOpen(t, dir, testOpts(), nil)
+	defer l2.Close()
+	if rep.BootEpoch != 2 { // max epoch on disk (1) + 1
+		t.Fatalf("boot epoch after epoch-file damage = %d, want 2", rep.BootEpoch)
+	}
+}

@@ -71,6 +71,28 @@ var statsMetrics = []statsMetric{
 		"Measured egress throughput in gigabits per second."},
 	{"CPUUtilized", "migratorydata_cpu_utilization", metrics.PromGauge,
 		"Process CPU utilization fraction (0-1) over the sampling window."},
+	{"SeglogAppends", "migratorydata_seglog_appends_total", metrics.PromCounter,
+		"Sequenced entries staged toward the durable segment log."},
+	{"SeglogAppendedBytes", "migratorydata_seglog_appended_bytes_total", metrics.PromCounter,
+		"Record bytes staged toward the durable segment log."},
+	{"SeglogDropped", "migratorydata_seglog_dropped_total", metrics.PromCounter,
+		"Entries discarded after a terminal segment-log sink failure."},
+	{"SeglogFlushes", "migratorydata_seglog_flushes_total", metrics.PromCounter,
+		"Writer-side flushes of staged segment-log bytes to disk."},
+	{"SeglogFsyncs", "migratorydata_seglog_fsyncs_total", metrics.PromCounter,
+		"fsync calls issued by the segment-log writer."},
+	{"SeglogSegments", "migratorydata_seglog_segments", metrics.PromGauge,
+		"Segment files created since start."},
+	{"SeglogDiskBytes", "migratorydata_seglog_disk_bytes", metrics.PromGauge,
+		"Bytes written to segment files since start."},
+	{"SeglogStagedBytes", "migratorydata_seglog_staged_bytes", metrics.PromGauge,
+		"Segment-log bytes staged in memory but not yet written."},
+	{"SeglogRecoveredEntries", "migratorydata_seglog_recovered_entries", metrics.PromGauge,
+		"History entries replayed from the segment log at boot."},
+	{"SeglogTruncations", "migratorydata_seglog_truncations", metrics.PromGauge,
+		"Torn or corrupt records truncated during boot recovery."},
+	{"SeglogFailed", "migratorydata_seglog_failed", metrics.PromGauge,
+		"1 once the segment log hit a terminal write/sync error (history on disk stays replayable)."},
 }
 
 // statsValue extracts the named field from a Stats snapshot as a float64.

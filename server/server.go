@@ -17,6 +17,7 @@ import (
 	"migratorydata/internal/consensus"
 	"migratorydata/internal/core"
 	"migratorydata/internal/metrics"
+	"migratorydata/internal/seglog"
 	"migratorydata/internal/transport"
 )
 
@@ -55,6 +56,20 @@ type Config struct {
 	// Classify assigns topics a delivery class for the overload policy
 	// (nil: every topic reliable — never dropped under pressure).
 	Classify core.ClassifyFunc
+	// DataDir, when non-empty, enables durable history: the engine keeps a
+	// crash-safe per-group segment log under this directory and replays it
+	// at startup, so resume-with-position survives a restart (see
+	// docs/ARCHITECTURE.md, "The durability path"). Single-node only —
+	// cluster members get durability through replication (§5.2.2) and
+	// NewCluster rejects members that set it.
+	DataDir string
+	// Fsync is the segment-log durability policy (zero value: periodic
+	// sync every 100ms; see seglog.ParsePolicy for the flag syntax).
+	Fsync seglog.Policy
+	// SegmentMaxBytes / SegmentMaxAge bound one segment file (zero:
+	// 8 MiB / 10 minutes).
+	SegmentMaxBytes int64
+	SegmentMaxAge   time.Duration
 	// Recorder optionally taps the engine's ingest/egress spine for traffic
 	// capture (see internal/capture). Nil (the default) costs the hot path
 	// one nil-check branch.
@@ -90,6 +105,10 @@ func (cfg Config) engineConfig() core.Config {
 		ConflationInterval: cfg.ConflationInterval,
 		EgressBudgetBytes:  cfg.EgressBudgetBytes,
 		Classify:           cfg.Classify,
+		DataDir:            cfg.DataDir,
+		Fsync:              cfg.Fsync,
+		SegmentMaxBytes:    cfg.SegmentMaxBytes,
+		SegmentMaxAge:      cfg.SegmentMaxAge,
 		Recorder:           cfg.Recorder,
 		Pause:              cfg.Pause,
 		Logger:             cfg.Logger,
@@ -98,14 +117,31 @@ func (cfg Config) engineConfig() core.Config {
 
 // New constructs a single-node server (the paper's vertically-scalable
 // engine with the local sequencer). Call Start to begin accepting clients.
+// New panics if the durable log under DataDir cannot be opened; callers
+// that set DataDir should use Open and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open is New with the durable-history error surfaced: a corrupt or
+// mismatched data dir refuses to open (naming the offending file) instead
+// of serving history of unknown provenance.
+func Open(cfg Config) (*Server, error) {
 	if cfg.ID == "" {
 		cfg.ID = "server-1"
 	}
 	if cfg.Mode == "" {
 		cfg.Mode = "ws"
 	}
-	return &Server{cfg: cfg, engine: core.New(cfg.engineConfig())}
+	e, err := core.Open(cfg.engineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("server %s: %w", cfg.ID, err)
+	}
+	return &Server{cfg: cfg, engine: e}, nil
 }
 
 // newClusterMember constructs a server whose engine is owned by a cluster
@@ -227,6 +263,12 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 	for i, m := range spec.Members {
 		if m.ID == "" {
 			return nil, fmt.Errorf("server: member %d has no ID", i)
+		}
+		if m.DataDir != "" {
+			// Cluster durability is replication (§5.2.2): a member's local
+			// segment log would replay history the cluster epoch already
+			// superseded. Refuse loudly rather than recover wrongly.
+			return nil, fmt.Errorf("server: member %s sets DataDir %q — durable history is single-node only; cluster durability is replication", m.ID, m.DataDir)
 		}
 		ids[i] = m.ID
 	}
