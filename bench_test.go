@@ -12,8 +12,10 @@ package migratorydata_test
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -26,6 +28,7 @@ import (
 	"migratorydata/internal/core"
 	"migratorydata/internal/loadgen"
 	"migratorydata/internal/metrics"
+	"migratorydata/internal/netpoll"
 	"migratorydata/internal/protocol"
 	"migratorydata/internal/transport"
 )
@@ -199,6 +202,119 @@ func BenchmarkC10MScenario(b *testing.B) {
 		}
 		reportScenario(b, res)
 		b.ReportMetric(float64(clients), "connections")
+	}
+}
+
+// envInt reads an integer from the environment, with a default.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// BenchmarkC10MIdleConnections is the connection-scale gate over REAL
+// sockets: dial C10M_CONNS (default 2000; CI's c10m-scale lane runs
+// 100000) loopback TCP connections, subscribe each to its own topic, let
+// everything idle, and measure what an idle connection actually costs —
+// post-GC heap bytes (both halves: engine and dialer share the process)
+// and goroutines. The goroutine figure is the tentpole property of the
+// epoll read path: connections must NOT cost a reader goroutine each, so
+// goroutines/conn stays near zero (the poll loops are per-IoThread). A
+// liveness probe publishes to one fleet topic and waits for delivery, so
+// "sustained" means the engine still works at the target count, not
+// merely that the sockets opened.
+//
+// With BENCH_C10M_JSON=<path> the run appends a machine-readable row.
+// gated_goroutines_per_conn rides benchguard's +0.01 tolerance — exactly
+// the acceptance bound (< 0.01 goroutines per connection) — and
+// gated_bytes_budget_exceeded flags a per-connection heap cost above
+// C10M_BYTES_BUDGET (default 16 KiB for the connection pair; the raw
+// bytes_per_idle_conn figure stays informational because absolute heap
+// numbers are runner-noisy).
+func BenchmarkC10MIdleConnections(b *testing.B) {
+	conns := envInt("C10M_CONNS", 2000)
+	budget := envInt("C10M_BYTES_BUDGET", 16<<10)
+	if _, err := loadgen.RaiseFDLimit(uint64(2*conns) + 4096); err != nil {
+		b.Logf("RaiseFDLimit: %v (continuing with the current limit)", err)
+	}
+	for i := 0; i < b.N; i++ {
+		e := core.New(core.Config{ServerID: "c10m-idle", IoThreads: 4, Workers: 2, TopicGroups: 100})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go e.Serve(l, "raw")
+
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		g0 := runtime.NumGoroutine()
+
+		fleet, err := loadgen.DialIdleFleet(loadgen.IdleFleetOptions{
+			Addr: l.Addr().String(), Conns: conns, TopicPrefix: "idle",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := e.NumClients(); got != conns {
+			b.Fatalf("engine sustains %d of %d connections", got, conns)
+		}
+
+		// Idle steady state: everything subscribed, nothing flowing.
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		g1 := runtime.NumGoroutine()
+		bytesPerConn := float64(int64(m1.HeapAlloc)-int64(m0.HeapAlloc)) / float64(conns)
+		goroutinesPerConn := float64(g1-g0) / float64(conns)
+
+		// Liveness probe: the fleet is sustained only if delivery still works.
+		probeTarget := e.Stats().Delivered + 1
+		e.Deliver(fmt.Sprintf("idle-%d", conns/2), cache.Entry{Epoch: 1, Seq: 1, Payload: []byte("ping")})
+		deadline := time.Now().Add(10 * time.Second)
+		for e.Stats().Delivered < probeTarget {
+			if time.Now().After(deadline) {
+				b.Fatalf("liveness probe undelivered at %d connections", conns)
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		b.ReportMetric(float64(conns), "conns")
+		b.ReportMetric(bytesPerConn, "bytes/conn")
+		b.ReportMetric(goroutinesPerConn, "goroutines/conn")
+
+		if netpoll.Supported() {
+			// The tentpole bound. Only meaningful on the kernel-poller path;
+			// nonetpoll builds intentionally pay a reader goroutine per
+			// connection and are not connection-scale builds.
+			if goroutinesPerConn >= 0.01 {
+				b.Errorf("%.4f goroutines per connection (%d for %d conns), want < 0.01 — reader-per-conn suspected",
+					goroutinesPerConn, g1-g0, conns)
+			}
+			exceeded := 0.0
+			if bytesPerConn > float64(budget) {
+				exceeded = 1
+			}
+			appendBenchRow(b, "BENCH_C10M_JSON", 1, metrics.BenchRow{
+				Name:       b.Name(),
+				Iterations: b.N,
+				Extra: map[string]float64{
+					"max_sustained_conns":         float64(conns),
+					"bytes_per_idle_conn":         bytesPerConn,
+					"goroutines_per_conn":         goroutinesPerConn,
+					"gated_goroutines_per_conn":   goroutinesPerConn,
+					"gated_bytes_budget_exceeded": exceeded,
+				},
+			})
+		}
+
+		fleet.Close()
+		l.Close()
+		e.Close()
 	}
 }
 

@@ -84,6 +84,42 @@ func TestDocsPinDurability(t *testing.T) {
 	}
 }
 
+// TestDocsPinConnectionPath pins the connection-scale documentation
+// contract: the architecture map describes the event-loop read path (fd
+// ownership rule, fallback build tag) and the benchmark runbook carries
+// the BENCH_c10m.json schema and its baseline-refresh step — code and CI
+// point readers at these by name, so renaming them must fail here.
+func TestDocsPinConnectionPath(t *testing.T) {
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"### The connection path",
+		"syscall.RawConn",
+		"nonetpoll",
+	} {
+		if !strings.Contains(string(arch), want) {
+			t.Errorf("docs/ARCHITECTURE.md lost %q", want)
+		}
+	}
+	bench, err := os.ReadFile("docs/BENCHMARKS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BENCH_c10m.json",
+		"max_sustained_conns",
+		"gated_goroutines_per_conn",
+		"gated_bytes_budget_exceeded",
+		"BenchmarkC10MIdleConnections",
+	} {
+		if !strings.Contains(string(bench), want) {
+			t.Errorf("docs/BENCHMARKS.md lost %q", want)
+		}
+	}
+}
+
 // TestDocsExist pins the documentation set the repository promises: the
 // architecture map, the wire-format specification, and the benchmark
 // runbook, each non-trivially sized and linked from the README.

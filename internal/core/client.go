@@ -43,17 +43,23 @@ type Client struct {
 	// protection is on (cached to avoid a type assertion per write).
 	stall StallWriter
 
+	// poll is the IoThread poll loop this connection's fd is registered
+	// with, nil on the fallback reader-goroutine path. Atomic because a
+	// teardown racing Attach may read it before registration completes.
+	poll atomic.Pointer[pollLoop]
+
 	// egress is the per-client staged-egress budget account. Charged by
 	// Workers (and any goroutine calling SendFrame), released by the owning
 	// IoThread — all fields atomic.
 	egress egressLedger
 
-	// subs is owned by the Worker: topics this client subscribes to. The
-	// Worker mirrors the empty↔non-empty transitions of its per-topic
-	// subscriber sets (which this map feeds on detach) into the engine's
+	// subs is owned by the Worker: topics this client subscribes to, as a
+	// packed sorted slice (nil while unsubscribed — the C10M idle shape).
+	// The Worker mirrors the empty↔non-empty transitions of its per-topic
+	// subscriber sets (which this set feeds on detach) into the engine's
 	// topic→worker delivery index, so the two must only ever be mutated
 	// together on the Worker loop.
-	subs map[string]struct{}
+	subs topicSet
 
 	closed atomic.Bool
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"slices"
+	"unique"
+)
+
+// This file holds the per-connection memory diet's data structures. At
+// C10M scale the dominant cost is not throughput but resident bytes per
+// idle connection, and Go maps are the wrong shape for the common case:
+// a subscriber follows a handful of topics (often exactly one), and most
+// topics have a handful of local subscribers. A map[string]struct{} or
+// map[*Client]struct{} costs ~48 bytes of header plus at least one
+// 8-entry bucket each — hundreds of bytes per connection before a single
+// subscription is stored. The packed representations below cost one
+// slice header when small and only escalate to a map when a set is
+// provably hot.
+
+// packThreshold is the size at which a clientSet trades its packed slice
+// for a map. Below it, add/remove scan linearly — at ≤16 entries that is
+// a few cache lines, faster than hashing. A set that crosses the
+// threshold keeps its map for life: a topic that once attracted many
+// subscribers is likely to again, and oscillating representations on a
+// churning fleet would thrash.
+const packThreshold = 16
+
+// clientSet is one topic's local subscribers on a worker. Worker-owned,
+// single-goroutine. Membership is NOT checked by add — callers guarantee
+// it via the client's own subscription set (c.subs), which is the
+// cheaper side to test.
+type clientSet struct {
+	few  []*Client            // packed form, nil once promoted
+	many map[*Client]struct{} // non-nil after crossing packThreshold
+}
+
+// size returns the number of subscribers; a nil set is empty.
+func (s *clientSet) size() int {
+	if s == nil {
+		return 0
+	}
+	if s.many != nil {
+		return len(s.many)
+	}
+	return len(s.few)
+}
+
+// add inserts c, which the caller guarantees is not present.
+func (s *clientSet) add(c *Client) {
+	if s.many != nil {
+		s.many[c] = struct{}{}
+		return
+	}
+	if len(s.few) < packThreshold {
+		s.few = append(s.few, c)
+		return
+	}
+	s.many = make(map[*Client]struct{}, len(s.few)+1)
+	for _, fc := range s.few {
+		s.many[fc] = struct{}{}
+	}
+	s.many[c] = struct{}{}
+	s.few = nil
+}
+
+// remove deletes c if present (swap-delete in packed form; subscriber
+// iteration order is not part of any contract).
+func (s *clientSet) remove(c *Client) {
+	if s.many != nil {
+		delete(s.many, c)
+		return
+	}
+	for i, fc := range s.few {
+		if fc == c {
+			last := len(s.few) - 1
+			s.few[i] = s.few[last]
+			s.few[last] = nil
+			s.few = s.few[:last]
+			return
+		}
+	}
+}
+
+// single returns the sole member of a size-1 set.
+func (s *clientSet) single() *Client {
+	if s.many != nil {
+		for c := range s.many {
+			return c
+		}
+	}
+	return s.few[0]
+}
+
+// topicSet is one client's subscriptions: a sorted string slice with
+// binary-search membership. Worker-owned, single-goroutine. nil when
+// empty — an idle connection that never subscribes carries zero bytes
+// of subscription state. The strings are interned (internTopic), so N
+// subscribers of one topic share a single backing array.
+type topicSet []string
+
+// contains reports whether topic is in the set.
+func (s topicSet) contains(topic string) bool {
+	_, ok := slices.BinarySearch(s, topic)
+	return ok
+}
+
+// add inserts topic, reporting whether it was newly added.
+func (s *topicSet) add(topic string) bool {
+	i, ok := slices.BinarySearch(*s, topic)
+	if ok {
+		return false
+	}
+	*s = slices.Insert(*s, i, topic)
+	return true
+}
+
+// remove deletes topic, reporting whether it was present.
+func (s *topicSet) remove(topic string) bool {
+	i, ok := slices.BinarySearch(*s, topic)
+	if !ok {
+		return false
+	}
+	*s = slices.Delete(*s, i, i+1)
+	return true
+}
+
+// internTopic canonicalizes a topic string. Topic names arrive once per
+// SUBSCRIBE frame but are retained for the connection's lifetime in the
+// client's topicSet, the worker's subsByTopic keys, and the engine's
+// topic→worker index; interning makes all of them share one allocation
+// per distinct topic across the whole process instead of one per
+// subscriber. Cold path only (subscription churn, not delivery).
+func internTopic(topic string) string {
+	return unique.Make(topic).Value()
+}

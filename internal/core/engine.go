@@ -11,7 +11,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"migratorydata/internal/batch"
 	"migratorydata/internal/cache"
 	"migratorydata/internal/capture"
 	"migratorydata/internal/metrics"
@@ -405,15 +404,17 @@ func (e *Engine) Attach(framed Framed) (*Client, error) {
 		return nil, ErrEngineClosed
 	}
 	id := e.nextID.Add(1)
+	// Per-connection state is deliberately minimal here: the subscription
+	// set, batcher, and backlog all materialize lazily on first use, so an
+	// idle connection — the C10M shape — costs only the Client struct, its
+	// decoder, and a kernel-poller registration.
 	c := &Client{
 		id:     id,
 		framed: framed,
 		engine: e,
-		subs:   make(map[string]struct{}),
 	}
 	c.io = e.ioThreads[pinIndex(framed.RemoteAddr(), id, len(e.ioThreads))]
 	c.worker = e.workers[pinIndex(framed.RemoteAddr(), id, len(e.workers))]
-	c.batcher = batch.NewBatcher(e.cfg.BatchMaxBytes, e.cfg.BatchMaxDelay)
 	if e.protect {
 		// Stall-aware writes keep one slow consumer from blocking its
 		// IoThread; framings without stall support keep legacy blocking
@@ -444,8 +445,12 @@ func (e *Engine) Attach(framed Framed) (*Client, error) {
 		e.recorder.RecordOpen(id)
 	}
 
-	e.wg.Add(1)
-	go e.readLoop(c)
+	if !e.startReader(c) {
+		// Fallback read path: a blocking reader goroutine (in-process
+		// pipes, platforms without a kernel poller, `nonetpoll` builds).
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
 	return c, nil
 }
 
@@ -798,8 +803,17 @@ func (e *Engine) Close() error {
 	}
 	for _, c := range clients {
 		// Close transports directly: reader goroutines unblock with an
-		// error and funnel through the normal teardown path.
+		// error (and the kernel deregisters closed fds from the pollers)
+		// and funnel through the normal teardown path.
 		_ = c.framed.Close()
+	}
+	for _, t := range e.ioThreads {
+		// Seal the lazy poller so none can start after shutdown, then stop
+		// any that exist; their loops release the kernel fds and exit.
+		t.pollOnce.Do(func() {})
+		if t.poll != nil {
+			t.poll.close()
+		}
 	}
 	close(e.tickStop)
 

@@ -149,13 +149,13 @@ func TestDetachReleasesClientState(t *testing.T) {
 		t.Fatal("client not unregistered after close")
 	}
 	// Read worker-owned state on the worker loop: after the detach event
-	// the subscription map must be gone, not replaced by a fresh one.
-	var subsAfter map[string]struct{}
+	// the subscription set must be gone, not replaced by a fresh one.
+	var subsAfter topicSet
 	if !c.worker.do(func() { subsAfter = c.subs }) {
 		t.Fatal("worker rejected introspection")
 	}
 	if subsAfter != nil {
-		t.Fatalf("detached client still holds a subscription map: %v", subsAfter)
+		t.Fatalf("detached client still holds a subscription set: %v", subsAfter)
 	}
 	if e.subIndex.contains("d1", c.worker.index) || e.subIndex.contains("d2", c.worker.index) {
 		t.Fatal("detached client's topics still indexed")

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"migratorydata/internal/batch"
 	"migratorydata/internal/protocol"
 	"migratorydata/internal/queue"
 )
@@ -93,6 +94,13 @@ type ioThread struct {
 	stalled    map[*Client]struct{}
 	retryArmed bool
 	lastProbe  time.Time
+
+	// poll is this thread's lazily-created readiness loop (see poll.go);
+	// pollOnce guards creation and pollErr latches a failed one. An
+	// engine serving only in-process pipes never creates it.
+	pollOnce sync.Once
+	poll     *pollLoop
+	pollErr  error
 
 	// drainScratch is the reused buffer backlog drains are coalesced into.
 	drainScratch []byte
@@ -253,6 +261,19 @@ func (t *ioThread) batchFrame(c *Client, frame []byte, topic string, droppable b
 			t.pushBacklog(c, frame, topic, droppable)
 			return
 		}
+	}
+	if c.batcher == nil {
+		if t.engine.cfg.BatchMaxDelay <= 0 {
+			// Batching off (the default): the frame goes straight to the
+			// transport. No Batcher is ever materialized — at C10M scale its
+			// struct and buffer are pure per-connection overhead, and Add
+			// would copy every frame only to hand the copy back.
+			t.write(c, frame, 1)
+			return
+		}
+		// Batching on: materialized on first write, not at attach — an
+		// idle connection pays nothing.
+		c.batcher = batch.NewBatcher(t.engine.cfg.BatchMaxBytes, t.engine.cfg.BatchMaxDelay)
 	}
 	c.batched++
 	out := c.batcher.Add(now, frame)
@@ -431,7 +452,7 @@ func (t *ioThread) flushStalled(c *Client) {
 	if c.stallBytes() > 0 {
 		return // transport still full; retry later
 	}
-	if c.batcher.Pending() > 0 {
+	if c.batcher != nil && c.batcher.Pending() > 0 {
 		out := c.batcher.Flush()
 		frames := c.batched
 		c.batched = 0
@@ -536,6 +557,12 @@ func (t *ioThread) teardown(c *Client) {
 	}
 	if rec := t.engine.recorder; rec != nil {
 		rec.RecordClose(c.id)
+	}
+	if pl := c.poll.Load(); pl != nil {
+		// Deregister before closing the transport so a readiness event
+		// cannot race the close (RawConn operations on a closed conn fail
+		// cleanly either way — this just avoids the churn).
+		pl.unregister(c)
 	}
 	delete(t.pendingFlush, c)
 	t.unmarkStalled(c)

@@ -112,6 +112,16 @@ func TestPressureDropsBoundedAndRecovers(t *testing.T) {
 	const msgs = 300
 	publishN(e, "ticker", msgs, 512) // ~160KB staged at a 16KB budget
 	waitFor(t, 5*time.Second, func() bool { return e.Stats().PressureDrops > 0 })
+	// Quiesce the pipeline before sampling the bound: frames are charged at
+	// staging, so publications still queued on the worker or ioThread count
+	// toward SlowConsumerBytes even though the backlog policy has not seen
+	// them yet — sampling mid-flight reads an arbitrarily inflated figure.
+	for _, w := range e.workers {
+		w.do(func() {})
+	}
+	for _, it := range e.ioThreads {
+		it.do(func() {})
+	}
 
 	st := e.Stats()
 	if st.PressureDisconnects != 0 {

@@ -47,11 +47,11 @@ func checkIndexConsistency(t *testing.T, e *Engine) {
 		w := w
 		w.do(func() {
 			for topic, set := range w.subsByTopic {
-				if len(set) == 0 {
+				if set.size() == 0 {
 					t.Errorf("worker %d retains an empty subscriber set for %q", w.index, topic)
 				}
 				if !e.subIndex.contains(topic, w.index) {
-					t.Errorf("worker %d has %d subscriber(s) for %q but is not indexed", w.index, len(set), topic)
+					t.Errorf("worker %d has %d subscriber(s) for %q but is not indexed", w.index, set.size(), topic)
 				}
 			}
 		})
@@ -62,7 +62,7 @@ func checkIndexConsistency(t *testing.T, e *Engine) {
 			w := e.workers[wi]
 			topic := topic
 			w.do(func() {
-				if len(w.subsByTopic[topic]) == 0 {
+				if w.subsByTopic[topic].size() == 0 {
 					t.Errorf("index lists worker %d for %q but it has no subscribers", w.index, topic)
 				}
 			})

@@ -55,11 +55,11 @@ type worker struct {
 	in     *queue.MPSC[workerEvent]
 	engine *Engine
 
-	// subsByTopic maps a topic to this worker's subscribers. Its
-	// empty↔non-empty transitions are mirrored into the engine's
-	// topic→worker index, which is what lets Engine.Deliver skip this
-	// worker entirely for topics with no local subscribers.
-	subsByTopic map[string]map[*Client]struct{}
+	// subsByTopic maps a topic to this worker's subscribers (packed sets,
+	// see clientset.go). Its empty↔non-empty transitions are mirrored into
+	// the engine's topic→worker index, which is what lets Engine.Deliver
+	// skip this worker entirely for topics with no local subscribers.
+	subsByTopic map[string]*clientSet
 
 	// conflator aggregates per-topic deliveries when conflation is on.
 	conflator *batch.Conflator[conflated]
@@ -83,7 +83,7 @@ func newWorker(index int, e *Engine) *worker {
 		index:       index,
 		in:          queue.NewMPSC[workerEvent](),
 		engine:      e,
-		subsByTopic: make(map[string]map[*Client]struct{}),
+		subsByTopic: make(map[string]*clientSet),
 		conflator:   batch.NewConflator[conflated](e.cfg.ConflationInterval, nil),
 		ioBuckets:   make([]*writeSet, e.cfg.IoThreads),
 		ioEvents:    make([][]ioEvent, e.cfg.IoThreads),
@@ -198,15 +198,21 @@ func (w *worker) subscribe(c *Client, m *protocol.Message) {
 		// One hash per topic: the subscription index and the replay read
 		// below share the group.
 		g := w.engine.cache.GroupOf(tp.Topic)
-		set := w.subsByTopic[tp.Topic]
+		// Interned: every subscriber of this topic (and the index and the
+		// worker map keys) shares one canonical string allocation.
+		topic := internTopic(tp.Topic)
+		set := w.subsByTopic[topic]
 		if set == nil {
-			set = make(map[*Client]struct{})
-			w.subsByTopic[tp.Topic] = set
+			set = &clientSet{}
+			w.subsByTopic[topic] = set
 			// First local subscriber: make Deliver route to this worker.
-			w.engine.subIndex.addGroup(g, tp.Topic, w.index)
+			w.engine.subIndex.addGroup(g, topic, w.index)
 		}
-		set[c] = struct{}{}
-		c.subs[tp.Topic] = struct{}{}
+		// The client's own (small, sorted) set is the membership test; the
+		// subscriber set relies on it so packed adds never have to scan.
+		if c.subs.add(topic) {
+			set.add(c)
+		}
 
 		if tp.Epoch != 0 || tp.Seq != 0 {
 			// Replay through the worker's reused buffer: a reconnect storm
@@ -232,20 +238,25 @@ func (w *worker) subscribe(c *Client, m *protocol.Message) {
 
 func (w *worker) unsubscribe(c *Client, m *protocol.Message) {
 	for _, tp := range m.Topics {
-		w.dropSub(c, tp.Topic)
-		delete(c.subs, tp.Topic)
+		if c.subs.remove(tp.Topic) {
+			w.dropSub(c, tp.Topic)
+		}
+	}
+	if len(c.subs) == 0 {
+		c.subs = nil // idle again: no subscription state retained
 	}
 }
 
 // dropSub removes c from topic's local subscriber set, de-indexing this
-// worker on the last-subscriber transition.
+// worker on the last-subscriber transition. The caller has already
+// established membership via c.subs.
 func (w *worker) dropSub(c *Client, topic string) {
 	set := w.subsByTopic[topic]
 	if set == nil {
 		return
 	}
-	delete(set, c)
-	if len(set) == 0 {
+	set.remove(c)
+	if set.size() == 0 {
 		delete(w.subsByTopic, topic)
 		w.engine.subIndex.remove(topic, w.index)
 	}
@@ -284,32 +295,34 @@ func (w *worker) fanOut(topic string, frame []byte) {
 //vet:hotpath
 func (w *worker) stageFanout(topic string, frame []byte) {
 	set := w.subsByTopic[topic]
-	if len(set) == 0 {
+	n := set.size()
+	if n == 0 {
 		return
 	}
 	droppable := w.engine.classify(topic) == ClassConflatable
 	size := int64(len(frame))
-	if len(set) == 1 {
+	if n == 1 {
 		// Singleton fast path — the C10M shape (every client the sole
 		// subscriber of its own topic): a plain evWrite needs no pooled
 		// write set, so nothing shuttles between the worker's and the
 		// ioThread's sync.Pool caches.
-		for c := range set {
-			c.chargeEgress(size)
-			w.ioEvents[c.io.index] = append(w.ioEvents[c.io.index],
-				ioEvent{kind: evWrite, c: c, data: frame, topic: topic, droppable: droppable})
-		}
+		c := set.single()
+		c.chargeEgress(size)
+		w.ioEvents[c.io.index] = append(w.ioEvents[c.io.index],
+			ioEvent{kind: evWrite, c: c, data: frame, topic: topic, droppable: droppable})
 		w.engine.stats.delivered.Inc()
 		return
 	}
-	for c := range set {
-		c.chargeEgress(size)
-		ws := w.ioBuckets[c.io.index]
-		if ws == nil {
-			ws = getWriteSet()
-			w.ioBuckets[c.io.index] = ws
+	// Both clientSet representations are iterated inline: this is the
+	// per-delivered-message path and must not allocate a closure.
+	if set.many != nil {
+		for c := range set.many {
+			w.bucketClient(c, size)
 		}
-		ws.clients = append(ws.clients, c)
+	} else {
+		for _, c := range set.few {
+			w.bucketClient(c, size)
+		}
 	}
 	for ti, ws := range w.ioBuckets {
 		if ws == nil {
@@ -319,7 +332,22 @@ func (w *worker) stageFanout(topic string, frame []byte) {
 		w.ioEvents[ti] = append(w.ioEvents[ti],
 			ioEvent{kind: evWriteMulti, set: ws, data: frame, topic: topic, droppable: droppable})
 	}
-	w.engine.stats.delivered.Add(int64(len(set)))
+	w.engine.stats.delivered.Add(int64(n))
+}
+
+// bucketClient charges one fan-out target and appends it to the write set
+// of its owning ioThread — the per-subscriber half of stageFanout, shared
+// by both clientSet representations.
+//
+//vet:hotpath
+func (w *worker) bucketClient(c *Client, size int64) {
+	c.chargeEgress(size)
+	ws := w.ioBuckets[c.io.index]
+	if ws == nil {
+		ws = getWriteSet()
+		w.ioBuckets[c.io.index] = ws
+	}
+	ws.clients = append(ws.clients, c)
 }
 
 // flushEgress pushes every staged fan-out event to its ioThread — one
@@ -384,11 +412,11 @@ func aggregateFrame(agg batch.Conflated[conflated]) []byte {
 
 // detach removes all of the client's subscriptions. Detach is terminal —
 // it only runs from connection teardown, after c.closed flipped — so the
-// subscription map is released outright (set to nil, not reallocated): a
-// churning fleet of short-lived connections must not keep one empty map
-// per dead client alive until the Client itself is collected.
+// subscription set is released outright (set to nil): a churning fleet
+// of short-lived connections must not keep per-dead-client subscription
+// state alive until the Client itself is collected.
 func (w *worker) detach(c *Client) {
-	for topic := range c.subs {
+	for _, topic := range c.subs {
 		w.dropSub(c, topic)
 	}
 	c.subs = nil

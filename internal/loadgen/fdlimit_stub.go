@@ -1,0 +1,7 @@
+//go:build !unix
+
+package loadgen
+
+// RaiseFDLimit is a no-op where rlimits do not exist; the platform's
+// default descriptor budget is whatever it is.
+func RaiseFDLimit(n uint64) (uint64, error) { return n, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package loadgen
+
+import "syscall"
+
+// RaiseFDLimit lifts RLIMIT_NOFILE's soft limit toward n (capped at the
+// hard limit), so a connection-scale run — two file descriptors per
+// loopback connection plus slack — does not die on EMFILE. Returns the
+// soft limit in effect afterwards.
+func RaiseFDLimit(n uint64) (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	if lim.Cur >= n {
+		return lim.Cur, nil
+	}
+	want := n
+	if want > lim.Max {
+		want = lim.Max
+	}
+	lim.Cur = want
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	return lim.Cur, nil
+}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"time"
@@ -73,6 +74,11 @@ type ScenarioOptions struct {
 	Measure time.Duration
 	// Seed fixes the run's randomness.
 	Seed int64
+	// Transport selects how the fleet attaches: "" (default) uses
+	// in-process pipes, "tcp" dials real loopback sockets through the
+	// engine's kernel-poller read path — every drop and re-dial then
+	// churns a file descriptor through poller registration.
+	Transport string
 }
 
 // NamedScenario couples a workload shape with its declared degradation
@@ -150,6 +156,7 @@ type shapedCtx struct {
 // plus at every event boundary.
 type shapedRun struct {
 	name       string
+	transport  string // "" in-process pipes, "tcp" real loopback sockets
 	engineCfg  core.Config
 	sub        SubConfig // Attach/Histogram filled in by run
 	pub        PubConfig // Attach filled in by run
@@ -171,6 +178,15 @@ func (r *shapedRun) run() (ScenarioReport, error) {
 	e := core.New(r.engineCfg)
 	defer e.Close()
 	attach := SingleEngineAttach(e, r.pipeBuffer)
+	if r.transport == "tcp" {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return rep, err
+		}
+		defer l.Close()
+		go e.Serve(l, "raw")
+		attach = TCPAttach(l.Addr().String())
+	}
 
 	hist := &metrics.Histogram{}
 	subCfg := r.sub
@@ -310,6 +326,7 @@ func diurnalRampScenario() NamedScenario {
 			measure := window(4*time.Second, opts.Measure)
 			r := &shapedRun{
 				name:      "diurnal-ramp",
+				transport: opts.Transport,
 				engineCfg: core.Config{ServerID: "diurnal-ramp"},
 				sub: SubConfig{
 					Connections: scaled(240, opts.Scale, len(topics)),
@@ -346,6 +363,7 @@ func flashCrowdScenario() NamedScenario {
 			topics := []string{"hot-breaking"}
 			r := &shapedRun{
 				name:      "flash-crowd",
+				transport: opts.Transport,
 				engineCfg: core.Config{ServerID: "flash-crowd"},
 				sub: SubConfig{
 					Connections:    scaled(240, opts.Scale, 8),
@@ -386,6 +404,7 @@ func reconnectStormScenario() NamedScenario {
 			var dropped int
 			r := &shapedRun{
 				name:      "reconnect-storm",
+				transport: opts.Transport,
 				engineCfg: core.Config{ServerID: "reconnect-storm"},
 				sub: SubConfig{
 					Connections: scaled(200, opts.Scale, len(topics)),
@@ -431,6 +450,7 @@ func churnMobileScenario() NamedScenario {
 			topics := topicNames("mobile", 8)
 			r := &shapedRun{
 				name:      "churn-mobile",
+				transport: opts.Transport,
 				engineCfg: core.Config{ServerID: "churn-mobile"},
 				sub: SubConfig{
 					Connections: scaled(160, opts.Scale, len(topics)),
@@ -490,7 +510,8 @@ func mixedFeedsScenario() NamedScenario {
 				stall = 2
 			}
 			r := &shapedRun{
-				name: "mixed-feeds",
+				name:      "mixed-feeds",
+				transport: opts.Transport,
 				engineCfg: core.Config{
 					ServerID:          "mixed-feeds",
 					EgressBudgetBytes: 16 << 10,

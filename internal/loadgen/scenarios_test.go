@@ -56,6 +56,30 @@ func TestScenarioReconnectStorm(t *testing.T) {
 	}
 }
 
+// TestScenarioReconnectStormTCP runs the same storm over real loopback
+// sockets: every drop and re-dial churns a file descriptor through
+// kernel-poller registration (register, wake on ready, unregister on
+// close), so under the race detector this doubles as the
+// fd-registration-churn regression for the netpoll read path.
+func TestScenarioReconnectStormTCP(t *testing.T) {
+	opts := reducedOpts()
+	opts.Transport = "tcp"
+	rep, err := RunScenarioByName("reconnect-storm", opts)
+	if err != nil {
+		t.Fatalf("reconnect-storm over tcp: %v", err)
+	}
+	if !rep.Green() {
+		t.Fatalf("reconnect-storm over tcp violated its degradation thresholds:\n  %s",
+			strings.Join(rep.Violations, "\n  "))
+	}
+	if rep.Reconnects == 0 {
+		t.Fatal("reconnect-storm over tcp recorded zero reconnects; no descriptors churned")
+	}
+	if rep.Gaps != 0 {
+		t.Fatalf("reconnect-storm over tcp opened %d reliable gaps through resume", rep.Gaps)
+	}
+}
+
 // TestScenarioKillAndResume is the crash-recovery regression at reduced
 // scale: a real durable server process is SIGKILLed mid-traffic and
 // restarted over the same data directory; the whole fleet must reconnect,

@@ -1,0 +1,235 @@
+//go:build linux && !nonetpoll
+
+package netpoll
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Supported reports whether this build has a kernel poller.
+func Supported() bool { return true }
+
+// wakeToken is the reserved token carried by the self-pipe's read end.
+const wakeToken = ^uint64(0)
+
+// Poller wraps an epoll instance plus a self-pipe used to interrupt
+// Wait. All methods except Wait are safe for concurrent use; Wait has a
+// single caller (the IoThread's poll loop), which is also the goroutine
+// that releases the kernel fds once it observes ErrClosed — fd teardown
+// never races with a concurrent Wait on the same fds.
+type Poller struct {
+	epfd   int
+	wakeR  int
+	events []syscall.EpollEvent // Wait scratch, sized to the caller's batch
+	closed atomic.Bool
+
+	// The wake-write end is the one fd touched by goroutines other than
+	// the Wait caller, so its teardown is mutex-fenced: Wake must never
+	// write to an fd number the kernel may have recycled.
+	wakeMu     sync.Mutex
+	wakeW      int
+	wakeClosed bool
+}
+
+// New creates a Poller. The self-pipe is registered up front with the
+// reserved wakeToken so Wake can interrupt a blocked Wait.
+func New() (*Poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	p := &Poller{epfd: epfd, wakeR: pipe[0], wakeW: pipe[1]}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN}
+	putToken(&ev, wakeToken)
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pipe[0], &ev); err != nil {
+		p.destroy()
+		return nil, err
+	}
+	return p, nil
+}
+
+// putToken packs a 64-bit token into the event's Fd+Pad fields (the
+// kernel treats epoll_event.data as opaque 64 bits; Go's struct splits
+// it into two int32s).
+func putToken(ev *syscall.EpollEvent, token uint64) {
+	ev.Fd = int32(uint32(token))
+	ev.Pad = int32(uint32(token >> 32))
+}
+
+func getToken(ev *syscall.EpollEvent) uint64 {
+	return uint64(uint32(ev.Fd)) | uint64(uint32(ev.Pad))<<32
+}
+
+// Add registers the connection for level-triggered readability with the
+// given token. The RawConn indirection (not an integer fd) is what makes
+// registration safe against fd reuse: if the connection is concurrently
+// closed, Control fails instead of registering a stranger's fd.
+func (p *Poller) Add(rc syscall.RawConn, token uint64) error {
+	var opErr error
+	err := rc.Control(func(fd uintptr) {
+		ev := syscall.EpollEvent{Events: syscall.EPOLLIN | syscall.EPOLLRDHUP}
+		putToken(&ev, token)
+		opErr = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev)
+	})
+	if err != nil {
+		return ErrConnClosed
+	}
+	return opErr
+}
+
+// Del removes the connection from the interest set. A failure is benign:
+// either the connection is already closed (the kernel removed the fd
+// from every epoll set on close) or it was never added.
+func (p *Poller) Del(rc syscall.RawConn) error {
+	var opErr error
+	err := rc.Control(func(fd uintptr) {
+		// The event argument must be non-nil for portability with
+		// pre-2.6.9 kernels; its contents are ignored for EPOLL_CTL_DEL.
+		var ev syscall.EpollEvent
+		opErr = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, int(fd), &ev)
+	})
+	if err != nil {
+		return ErrConnClosed
+	}
+	return opErr
+}
+
+// Wait blocks until at least one registered connection is readable or
+// Wake is called, filling evs with readiness tokens. woken reports that
+// a Wake was consumed (the caller should process pending registration
+// kicks). After Close, Wait releases the kernel fds and returns
+// ErrClosed — it is the single place teardown happens.
+func (p *Poller) Wait(evs []Event) (n int, woken bool, err error) {
+	if p.closed.Load() {
+		p.destroy()
+		return 0, false, ErrClosed
+	}
+	if cap(p.events) < len(evs) {
+		p.events = make([]syscall.EpollEvent, len(evs))
+	}
+	buf := p.events[:len(evs)]
+	for {
+		nn, err := syscall.EpollWait(p.epfd, buf, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			p.destroy()
+			if p.closed.Load() {
+				return 0, false, ErrClosed
+			}
+			return 0, false, err
+		}
+		out := 0
+		for i := 0; i < nn; i++ {
+			tok := getToken(&buf[i])
+			if tok == wakeToken {
+				woken = true
+				p.drainWake()
+				continue
+			}
+			evs[out] = Event{Token: tok}
+			out++
+		}
+		if p.closed.Load() {
+			p.destroy()
+			return 0, false, ErrClosed
+		}
+		if out == 0 && !woken {
+			continue // spurious
+		}
+		return out, woken, nil
+	}
+}
+
+// Wake interrupts a blocked Wait. A full pipe means a wake is already
+// pending, which is just as good. The write happens under wakeMu so it
+// can never hit an fd number recycled after destroy.
+func (p *Poller) Wake() {
+	p.wakeMu.Lock()
+	defer p.wakeMu.Unlock()
+	if p.wakeClosed {
+		return
+	}
+	var b [1]byte
+	for {
+		_, err := syscall.Write(p.wakeW, b[:])
+		if err == syscall.EINTR {
+			continue
+		}
+		return
+	}
+}
+
+func (p *Poller) drainWake() {
+	var b [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, b[:])
+		if n == len(b) && err == nil {
+			continue
+		}
+		return
+	}
+}
+
+// Close marks the poller closed and wakes the Wait caller, which
+// observes the flag, releases the kernel fds, and exits. Idempotent.
+func (p *Poller) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.Wake()
+}
+
+func (p *Poller) destroy() {
+	if p.epfd >= 0 {
+		syscall.Close(p.epfd)
+		syscall.Close(p.wakeR)
+		p.epfd, p.wakeR = -1, -1
+	}
+	p.wakeMu.Lock()
+	if !p.wakeClosed {
+		syscall.Close(p.wakeW)
+		p.wakeW = -1
+		p.wakeClosed = true
+	}
+	p.wakeMu.Unlock()
+}
+
+// ReadConn performs one non-blocking read from the connection into buf.
+// again=true means the socket had no data after all (EAGAIN — a
+// spurious or already-consumed readiness event); n==0 with a nil
+// syscall error means the peer closed cleanly, reported as io.EOF.
+func ReadConn(rc syscall.RawConn, buf []byte) (n int, again bool, err error) {
+	var rerr error
+	cerr := rc.Read(func(fd uintptr) bool {
+		for {
+			n, rerr = syscall.Read(int(fd), buf)
+			if rerr == syscall.EINTR {
+				continue
+			}
+			return true // never block in the runtime poller; one attempt only
+		}
+	})
+	if cerr != nil {
+		return 0, false, ErrConnClosed
+	}
+	if rerr == syscall.EAGAIN {
+		return 0, true, nil
+	}
+	if rerr != nil {
+		return 0, false, rerr
+	}
+	if n == 0 {
+		return 0, false, io.EOF
+	}
+	return n, false, nil
+}

@@ -1,0 +1,31 @@
+//go:build (!linux && !darwin) || nonetpoll
+
+package netpoll
+
+import "syscall"
+
+// Supported reports whether this build has a kernel poller. False here:
+// the engine uses its goroutine-per-connection fallback read path.
+func Supported() bool { return false }
+
+// Poller is inert in this build; New never returns one.
+type Poller struct{}
+
+// New reports that no kernel poller exists in this build.
+func New() (*Poller, error) { return nil, ErrUnsupported }
+
+func (p *Poller) Add(rc syscall.RawConn, token uint64) error { return ErrUnsupported }
+func (p *Poller) Del(rc syscall.RawConn) error               { return ErrUnsupported }
+
+func (p *Poller) Wait(evs []Event) (n int, woken bool, err error) {
+	return 0, false, ErrUnsupported
+}
+
+func (p *Poller) Wake()  {}
+func (p *Poller) Close() {}
+
+// ReadConn is unavailable without a kernel poller: the fallback path
+// reads through net.Conn instead.
+func ReadConn(rc syscall.RawConn, buf []byte) (n int, again bool, err error) {
+	return 0, false, ErrUnsupported
+}
